@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rows/series the paper reports (run with ``-s`` to see them).
+Each experiment is executed once per benchmark round (they are full
+simulations, not micro-kernels), so all benches use ``pedantic`` mode
+with a single round via the ``run_once`` helper.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,75 @@
+"""Ablation — windowed vs lifetime D_min (DESIGN.md §4a).
+
+The reproduction's one deliberate protocol deviation.  This bench
+measures both settings on the two experiments the choice trades off:
+
+* RTT fairness (Fig 13 setup): the windowed minimum lets long-RTT and
+  late-joining flows re-anchor their eq. 4 ratio test; the lifetime
+  minimum starves them.
+* TCP coexistence (Fig 14 setup): the lifetime minimum keeps Verus's
+  delay tolerance anchored to the uncongested path so it yields to
+  Cubic; the windowed minimum creeps under Cubic's standing queue and
+  out-competes it.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.runner import FlowSpec, run_fixed_dumbbell
+from repro.metrics import flow_stats, jain_index
+
+
+def rtt_fairness(dmin_window):
+    specs = [FlowSpec("verus", label=f"verus_{int(r * 1e3)}ms", rtt=r,
+                      options={"r": 2.0, "dmin_window": dmin_window})
+             for r in (0.020, 0.050, 0.100)]
+    result = run_fixed_dumbbell(60e6, specs, duration=120.0, rtt=0.02,
+                                queue_bytes=1_500_000, seed=19)
+    tputs = [s.throughput_bps for s in result.all_stats()]
+    return jain_index(tputs), sum(tputs)
+
+
+def cubic_coexistence(dmin_window):
+    specs = [FlowSpec("verus", label=f"verus_{i}", start_at=i * 30.0,
+                      options={"r": 6.0, "dmin_window": dmin_window})
+             for i in range(3)]
+    specs += [FlowSpec("cubic", label=f"cubic_{i}",
+                       start_at=(i + 3) * 30.0) for i in range(3)]
+    result = run_fixed_dumbbell(60e6, specs, duration=210.0, rtt=0.02,
+                                queue_bytes=900_000, seed=29)
+    tail = {s.label: flow_stats(result.deliveries(i), start=160.0,
+                                end=210.0).throughput_bps
+            for i, s in enumerate(specs)}
+    verus = sum(v for k, v in tail.items() if k.startswith("verus"))
+    cubic = sum(v for k, v in tail.items() if k.startswith("cubic"))
+    return verus / max(cubic, 1.0)
+
+
+def run_ablation():
+    rows = []
+    for label, window in (("windowed_10s", 10.0), ("lifetime", None)):
+        jain, total = rtt_fairness(window)
+        ratio = cubic_coexistence(window)
+        rows.append({
+            "dmin": label,
+            "fig13_jain": jain,
+            "fig13_total_mbps": total / 1e6,
+            "fig14_verus_cubic_ratio": ratio,
+        })
+    return rows
+
+
+def test_ablation_dmin(run_once):
+    rows = run_once(run_ablation)
+
+    print()
+    print(format_table(rows, title="Ablation: windowed vs lifetime D_min"))
+
+    windowed = rows[0]
+    lifetime = rows[1]
+    # The trade-off must be visible in both directions:
+    # windowed D_min (with the floor re-base) keeps RTT sharing sane...
+    assert windowed["fig13_jain"] >= lifetime["fig13_jain"] - 0.05
+    assert windowed["fig13_jain"] > 0.55
+    # ...while lifetime D_min buys TCP coexistence.
+    assert (abs(lifetime["fig14_verus_cubic_ratio"] - 1.0)
+            < abs(windowed["fig14_verus_cubic_ratio"] - 1.0))
+    assert 0.1 < lifetime["fig14_verus_cubic_ratio"] < 10.0

@@ -1,0 +1,31 @@
+"""Fig 2 — burst size / inter-arrival PDFs for Du & Etisalat × 3G & LTE.
+
+Regenerates the four five-minute stationary downlink traces and their
+log-binned burst distributions.
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.experiments.channel_study import fig2_burst_pdfs
+
+
+def test_fig2_burst_pdfs(run_once):
+    result = run_once(fig2_burst_pdfs, duration=300.0)
+
+    print()
+    print(format_table(result.summary_rows(),
+                       title="Fig 2: burst statistics per configuration"))
+
+    # Shape from the paper: LTE exhibits more frequent, smaller bursts
+    # than 3G for both operators.
+    for operator in ("du", "etisalat"):
+        b3g = result.stats[f"{operator}_3g"]
+        lte = result.stats[f"{operator}_lte"]
+        assert lte.count > b3g.count
+        assert np.mean(lte.sizes_bytes) < np.mean(b3g.sizes_bytes)
+        assert np.mean(lte.inter_arrivals) < np.mean(b3g.inter_arrivals)
+
+    # Burst sizes span orders of magnitude (heavy-tailed PDFs on log axes).
+    for label, stats in result.stats.items():
+        assert stats.sizes_bytes.max() > 5 * stats.sizes_bytes.min()

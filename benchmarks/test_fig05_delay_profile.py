@@ -1,0 +1,28 @@
+"""Fig 5 — an example Verus delay profile.
+
+Runs one Verus flow over an LTE trace and prints the learned
+(window → delay) curve, reproducing the profile shape the paper plots.
+"""
+
+import numpy as np
+
+from repro.experiments import format_series
+from repro.experiments.profile_study import fig5_example_profile
+
+
+def test_fig5_delay_profile(run_once):
+    profile = run_once(fig5_example_profile, duration=60.0,
+                       cell_rate_bps=20e6)
+
+    print()
+    print(format_series("Fig 5: Verus delay profile", profile.windows,
+                        profile.delays_ms, "W (pkts)", "D (ms)"))
+
+    # Shape: many recorded points; delay grows with window overall
+    # (green dots in the paper rise to the right).
+    assert profile.windows.size >= 20
+    assert profile.delays_ms[-1] > 1.5 * profile.delays_ms[0]
+
+    # Correlation between window and delay should be clearly positive.
+    corr = np.corrcoef(profile.windows, profile.delays_ms)[0, 1]
+    assert corr > 0.5

@@ -1,0 +1,23 @@
+"""Fig 8 — real-world macro comparison on 3G and LTE.
+
+Three phones × three flows of one protocol at a time share a cell;
+reports the averaged throughput/delay point per protocol, reproducing:
+Verus delay an order of magnitude below Cubic/Vegas at comparable
+throughput, sitting near Sprout with slightly more of both.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.macro import check_fig8_shape, fig8_realworld
+
+
+def test_fig8_realworld(run_once):
+    points = run_once(fig8_realworld, duration=60.0, repetitions=2)
+
+    print()
+    print(format_table([p.as_dict() for p in points],
+                       title="Fig 8: averaged throughput vs delay"))
+
+    checks = check_fig8_shape(points)
+    print("shape checks:", checks)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"shape checks failed: {failed}"

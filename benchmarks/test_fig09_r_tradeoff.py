@@ -1,0 +1,21 @@
+"""Fig 9 — the Verus R parameter trades delay for throughput.
+
+Repeats the Fig 8 setup with R ∈ {2, 4, 6}: larger R must increase both
+throughput and delay on both technologies.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.macro import check_fig9_shape, fig9_r_tradeoff
+
+
+def test_fig9_r_tradeoff(run_once):
+    points = run_once(fig9_r_tradeoff, duration=60.0, repetitions=2)
+
+    print()
+    print(format_table([p.as_dict() for p in points],
+                       title="Fig 9: Verus R = 2 / 4 / 6"))
+
+    checks = check_fig9_shape(points)
+    print("shape checks:", checks)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"shape checks failed: {failed}"

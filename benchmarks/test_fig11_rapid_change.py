@@ -1,0 +1,51 @@
+"""Fig 11 — rapidly changing networks (scenarios I and II).
+
+Every 5 s the bottleneck's capacity, RTT and loss are redrawn.
+Scenario I (10–100 Mbps): Verus tracks the capacity while Sprout is
+pinned by its 18 Mbps implementation cap.  Scenario II (2–20 Mbps):
+Sprout recovers but Verus still averages higher throughput.
+"""
+
+from repro.experiments import format_series, format_table
+from repro.experiments.micro import fig11_rapid_change
+
+
+def _print_result(result, title):
+    rows = [{"protocol": name,
+             "throughput_mbps": stats["throughput_bps"] / 1e6,
+             "mean_delay_ms": stats["mean_delay_ms"],
+             "utilization": result.utilization(name)}
+            for name, stats in result.stats.items()]
+    print()
+    print(format_table(rows, title=title))
+    for name, (t, series) in result.series.items():
+        print(format_series(f"  {name} throughput", t[:: 10],
+                            series[:: 10] / 1e6, "t (s)", "Mbps"))
+
+
+def test_fig11_scenario_i(run_once):
+    result = run_once(fig11_rapid_change, "I", duration=200.0)
+    _print_result(result, "Fig 11a: capacity 10-100 Mbps")
+
+    verus = result.stats["verus"]["throughput_bps"]
+    sprout = result.stats["sprout"]["throughput_bps"]
+    cubic = result.stats["cubic"]["throughput_bps"]
+    # Sprout capped well below the channel; Verus far ahead of it.
+    assert sprout < 20e6
+    assert verus > 1.5 * sprout
+    # Verus keeps pace with loss-based TCP on average.
+    assert verus > 0.5 * cubic
+
+
+def test_fig11_scenario_ii(run_once):
+    result = run_once(fig11_rapid_change, "II", duration=200.0)
+    _print_result(result, "Fig 11b: capacity 2-20 Mbps")
+
+    verus = result.stats["verus"]
+    sprout = result.stats["sprout"]
+    # Paper: "Sprout performs better than before, but Verus still
+    # achieves higher throughput on average than Sprout."
+    assert verus["throughput_bps"] > sprout["throughput_bps"]
+    # Both remain low-delay protocols in this regime.
+    assert verus["mean_delay_ms"] < 250
+    assert sprout["mean_delay_ms"] < 250

@@ -1,0 +1,31 @@
+"""Fig 13 — Verus intra-fairness across different RTTs.
+
+Three Verus flows with RTTs 20/50/100 ms share a 60 Mbps bottleneck.
+The paper observes throughput roughly independent of RTT (near max-min
+fair), unlike RTT-biased loss-based TCP.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.micro import fig13_rtt_fairness
+
+
+def test_fig13_rtt_fairness(run_once):
+    result = run_once(fig13_rtt_fairness, duration=120.0)
+
+    print()
+    print(format_table([s.as_dict() for s in result["stats"]],
+                       title="Fig 13: per-RTT Verus flows on 60 Mbps"))
+    print(f"Jain index: {result['jain']:.3f}   "
+          f"max/min throughput ratio: {result['max_over_min']:.2f}")
+
+    # Reproduced shape: no flow starves despite a 5× RTT range and the
+    # link stays well utilised.  A residual bias favouring longer RTTs
+    # remains (each flow's delay budget scales with its own base RTT);
+    # the paper's near-equal lines correspond to the synchronised
+    # equilibrium this multi-stable system does not always reach — see
+    # EXPERIMENTS.md.
+    assert result["jain"] > 0.55
+    assert result["max_over_min"] < 12.0
+    assert min(s.throughput_bps for s in result["stats"]) > 2e6
+    total = sum(s.throughput_bps for s in result["stats"])
+    assert total > 0.6 * 60e6

@@ -1,0 +1,55 @@
+"""§5.3 — parameter sensitivity sweeps (ε, update interval, δ1/δ2, α).
+
+Regenerates the sweeps behind the paper's chosen defaults: ε = 5 ms,
+1 s profile updates, δ1/δ2 = 1/2 ms.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.sensitivity import (
+    sweep_alpha,
+    sweep_deltas,
+    sweep_epoch,
+    sweep_update_interval,
+)
+
+
+def test_sweep_epoch(run_once):
+    rows = run_once(sweep_epoch, duration=45.0)
+    print()
+    print(format_table(rows, title="§5.3 sweep: epoch ε"))
+    by_setting = {r["setting"]: r for r in rows}
+    # Very long epochs react too slowly: the paper's 5 ms choice should
+    # not lose to 50 ms on delay-adjusted performance.
+    fast = by_setting["epoch_5ms"]
+    slow = by_setting["epoch_50ms"]
+    fast_score = fast["mean_throughput_mbps"] / max(fast["mean_delay_ms"], 1)
+    slow_score = slow["mean_throughput_mbps"] / max(slow["mean_delay_ms"], 1)
+    assert fast_score > 0.8 * slow_score
+    assert all(r["mean_throughput_mbps"] > 0 for r in rows)
+
+
+def test_sweep_update_interval(run_once):
+    rows = run_once(sweep_update_interval, duration=45.0)
+    print()
+    print(format_table(rows, title="§5.3 sweep: profile update interval"))
+    assert len(rows) == 5
+    assert all(r["mean_throughput_mbps"] > 0 for r in rows)
+
+
+def test_sweep_deltas(run_once):
+    rows = run_once(sweep_deltas, duration=45.0)
+    print()
+    print(format_table(rows, title="§5.3 sweep: δ1/δ2"))
+    by_setting = {r["setting"]: r for r in rows}
+    # Larger deltas are more aggressive: the biggest pair should not have
+    # *lower* delay than the smallest pair.
+    small = by_setting["d0.5_1ms"]
+    large = by_setting["d2_4ms"]
+    assert large["mean_delay_ms"] >= 0.7 * small["mean_delay_ms"]
+
+
+def test_sweep_alpha(run_once):
+    rows = run_once(sweep_alpha, duration=45.0)
+    print()
+    print(format_table(rows, title="sweep: EWMA α (eq. 2)"))
+    assert len(rows) == 4

@@ -1,0 +1,34 @@
+"""§7 "Short Flows" — flow-completion time for finite transfers.
+
+The paper (discussion, no figure): a short flow that never leaves slow
+start behaves like legacy TCP; beyond slow start Verus's delay profile
+keeps it competitive.  The bench sweeps transfer sizes on a 3G channel.
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.experiments.short_flows import fct_sweep, verus_competitive_ratio
+
+
+def test_short_flow_fct(run_once):
+    rows = run_once(fct_sweep, sizes=(50_000, 200_000, 1_000_000,
+                                      5_000_000), repetitions=2,
+                    duration=90.0)
+
+    print()
+    print(format_table(rows, title="§7 short flows: completion time (s)"))
+    ratio = verus_competitive_ratio(rows)
+    print(f"geometric-mean Verus/Cubic FCT ratio: {ratio:.2f}")
+
+    # Smallest transfer: slow-start bound, so Verus ≈ TCP (within 2×).
+    small = rows[0]
+    assert small["verus_fct_s"] < 2.0 * small["cubic_fct_s"]
+    # Across the sweep Verus stays competitive overall.
+    assert ratio < 1.5
+    # FCT grows with size for every protocol.
+    for protocol in ("verus", "cubic", "newreno"):
+        fcts = [r[f"{protocol}_fct_s"] for r in rows]
+        finite = [f for f in fcts if np.isfinite(f)]
+        assert all(a <= b * 1.2 for a, b in zip(finite, finite[1:])) or \
+            finite == sorted(finite)

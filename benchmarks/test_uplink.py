@@ -1,0 +1,21 @@
+"""§6.2 uplink — "the observations are similar for the uplink".
+
+Reruns the trace-driven contention comparison on the uplink channel
+presets (2.5 Mbps-class provisioning, sparser grant scheduling) and
+checks that the downlink observations carry over.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.uplink import observations_carry_over, uplink_comparison
+
+
+def test_uplink_observations(run_once):
+    rows = run_once(uplink_comparison, duration=60.0)
+
+    print()
+    print(format_table(rows, title="§6.2 uplink comparison"))
+    checks = observations_carry_over(rows)
+    print("checks:", checks)
+
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"uplink observations did not carry over: {failed}"

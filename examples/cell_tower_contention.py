@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Scenario: many subscribers behind one congested cell.
+
+Reproduces the paper's §6.2 setting as an operator-facing question: as a
+cell's load grows from 2 to 15 active bulk-download users, how do
+aggregate utilisation, per-user delay, and fairness evolve for Verus vs
+TCP Cubic?
+
+Run with::
+
+    python examples/cell_tower_contention.py
+"""
+
+from repro.cellular import generate_scenario_trace, trace_rate_bps
+from repro.experiments import format_table, repeat_flows, run_trace_contention
+from repro.metrics import aggregate_stats, windowed_jain_index
+
+DURATION = 45.0
+CELL_RATE = 16e6  # 16 Mbps shared 3G cell (nominal)
+
+
+def evaluate(protocol: str, users: int, trace, **options) -> dict:
+    specs = repeat_flows(protocol, users, **options)
+    result = run_trace_contention(trace, specs, duration=DURATION, seed=3)
+    agg = aggregate_stats(result.all_stats())
+    fairness = windowed_jain_index(result.per_flow_deliveries(),
+                                   window=1.0, start=5.0, end=DURATION)
+    offered_mbps = trace_rate_bps(trace) / 1e6
+    return {
+        "protocol": protocol,
+        "users": users,
+        "cell_utilisation":
+            f"{agg['total_throughput_mbps'] / offered_mbps:.0%}",
+        "per_user_mbps": round(agg["mean_throughput_mbps"], 2),
+        "mean_delay_ms": round(agg["mean_delay_ms"], 1),
+        "jain_fairness": round(fairness, 3),
+    }
+
+
+def main() -> None:
+    print("Scaling load on a 16 Mbps 'shopping mall' 3G cell...\n")
+    trace = generate_scenario_trace("shopping_mall", duration=DURATION,
+                                    technology="3g",
+                                    mean_rate_bps=CELL_RATE, seed=3)
+    rows = []
+    for users in (2, 5, 10, 15):
+        for protocol, options in (("verus", {"r": 2.0}), ("cubic", {})):
+            rows.append(evaluate(protocol, users, trace, **options))
+
+    print(format_table(rows, title="Cell contention scaling"))
+    print("\nThe operator's takeaway: as contention rises, Cubic keeps the")
+    print("shared RED queue saturated (delay grows into the hundreds of")
+    print("milliseconds and its fairness erodes), while Verus holds per-")
+    print("packet delay roughly flat at a modest throughput cost.")
+
+
+if __name__ == "__main__":
+    main()

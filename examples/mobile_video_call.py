@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Scenario: interactive video call from a moving car.
+
+The paper's motivation: interactive applications over cellular links need
+both throughput *and* low delay.  This example simulates a user on a
+city-driving 3G channel and asks, for each protocol, what fraction of the
+time a 95th-percentile one-way delay budget of 150 ms (the ITU-T G.114
+interactivity threshold) is met, and what bitrate the call could sustain.
+
+Run with::
+
+    python examples/mobile_video_call.py
+"""
+
+import numpy as np
+
+from repro.cellular import generate_scenario_trace
+from repro.experiments import FlowSpec, format_table, run_trace_contention
+from repro.metrics import flow_stats, windowed_delay, windowed_throughput
+
+DELAY_BUDGET = 0.150  # seconds, interactive threshold
+DURATION = 60.0
+
+
+def evaluate(protocol: str, trace, **options) -> dict:
+    spec = FlowSpec(protocol=protocol, options=options)
+    result = run_trace_contention(trace, [spec], duration=DURATION,
+                                  use_red=False, seed=7)
+    deliveries = result.deliveries(0)
+    stats = flow_stats(deliveries, start=10.0, end=DURATION)
+
+    _, delays = windowed_delay(deliveries, window=1.0, start=10.0,
+                               end=DURATION, agg="p95")
+    valid = delays[np.isfinite(delays)]
+    interactive = float(np.mean(valid < DELAY_BUDGET)) if valid.size else 0.0
+
+    _, tput = windowed_throughput(deliveries, window=1.0, start=10.0,
+                                  end=DURATION)
+    # A call must pick a bitrate it can sustain nearly always: use p10.
+    sustainable = float(np.percentile(tput, 10)) if tput.size else 0.0
+
+    return {
+        "protocol": protocol if not options else f"{protocol} {options}",
+        "throughput_mbps": round(stats.throughput_mbps, 2),
+        "mean_delay_ms": round(stats.mean_delay_ms, 1),
+        "interactive_time": f"{interactive:.0%}",
+        "sustainable_kbps": round(sustainable / 1e3),
+    }
+
+
+def main() -> None:
+    print(f"Simulating a {DURATION:.0f}s video call on a 3G city-driving "
+          "channel (5 Mbps nominal)...\n")
+    trace = generate_scenario_trace("city_driving", duration=DURATION,
+                                    technology="3g", seed=7)
+
+    rows = [
+        evaluate("verus", trace, r=2.0),
+        evaluate("sprout", trace),
+        evaluate("cubic", trace),
+        evaluate("vegas", trace),
+    ]
+    print(format_table(rows, title=(
+        f"Interactive viability (p95 delay < {DELAY_BUDGET * 1e3:.0f} ms)")))
+
+    print("\nReading the table: loss-based TCP fills the base-station")
+    print("buffer, so almost no 1-second window meets the interactivity")
+    print("budget; Verus and Sprout keep the queue short and make the")
+    print("call feasible, with Verus extracting more of the channel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Analytical characterisation of Verus (the paper's stated future work):
+a first-order fluid model of the eq. 4 steady state, validated against
+the packet-level simulation."""
+
+from .model import FixedLinkPrediction, VerusFluidModel
+
+__all__ = ["FixedLinkPrediction", "VerusFluidModel"]

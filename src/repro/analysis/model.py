@@ -1,0 +1,138 @@
+"""Analytical fluid model of Verus steady state.
+
+The paper's future work: "We plan to develop a model to more fully
+characterize the behavior of Verus and other delay-based control
+protocols."  This module provides that first-order model for a fixed
+bottleneck and validates it against the packet simulation (see
+``tests/test_analysis.py``).
+
+Model
+-----
+Consider a bottleneck of capacity ``C`` packets/s with base (unloaded)
+round-trip time ``T0`` and a Verus flow with ratio bound ``R``.
+
+* **Set-point equilibrium.**  Eq. 4 raises the delay set-point by δ2 per
+  ε-epoch while ``D_max/D_min ≤ R`` and lowers it by δ2 once the ratio is
+  exceeded, so the smoothed maximum RTT oscillates around::
+
+      RTT* = R · T0
+
+* **Window and queue.**  With window ``W`` on a saturated bottleneck the
+  RTT is ``T0 + W/C − T0 = W/C`` (for ``W ≥ C·T0``), hence::
+
+      W*  = C · R · T0            (equilibrium window, packets)
+      Q*  = W* − C·T0 = C·T0·(R−1)   (standing queue, packets)
+      d_q = (R−1) · T0            (queueing delay)
+
+* **Throughput.**  Any ``R > 1`` keeps ``W* > C·T0``, so the link stays
+  saturated and throughput ≈ C (the R knob buys *delay margin* against
+  channel drops, not fixed-link throughput — which is exactly the Fig 9
+  trade-off once capacity fluctuates).
+
+* **Oscillation amplitude.**  The set-point moves ±δ2 per epoch but the
+  flow only observes the result one RTT later, so the sawtooth
+  overshoots by roughly the per-RTT drift::
+
+      ΔD ≈ δ2 · (RTT*/ε)
+
+  which is also the knob that makes larger ε sluggish (§5.3).
+
+All quantities are first-order: burst scheduling, slow start transients
+and loss episodes are outside the model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class FixedLinkPrediction:
+    """Model outputs for one (link, config) pair."""
+
+    capacity_pps: float
+    base_rtt: float
+    r: float
+    equilibrium_rtt: float
+    equilibrium_window: float
+    standing_queue_packets: float
+    queueing_delay: float
+    throughput_pps: float
+    oscillation_amplitude: float
+
+    def one_way_delay(self, forward_fraction: float = 0.5) -> float:
+        """Predicted mean one-way (sender→receiver) delay.
+
+        Queueing happens on the forward path; ``forward_fraction`` of the
+        base RTT is forward propagation.
+        """
+        return forward_fraction * self.base_rtt + self.queueing_delay
+
+
+class VerusFluidModel:
+    """First-order steady-state model of a single Verus flow."""
+
+    def __init__(self, r: float = 2.0, epoch: float = 0.005,
+                 delta2: float = 0.002, packet_bytes: int = 1400):
+        if r <= 1:
+            raise ValueError("R must exceed 1")
+        if epoch <= 0 or delta2 <= 0:
+            raise ValueError("epoch and delta2 must be positive")
+        self.r = r
+        self.epoch = epoch
+        self.delta2 = delta2
+        self.packet_bytes = packet_bytes
+
+    # ------------------------------------------------------------------
+    def predict_fixed_link(self, rate_bps: float,
+                           base_rtt: float) -> FixedLinkPrediction:
+        """Steady-state prediction for a constant-rate bottleneck."""
+        if rate_bps <= 0 or base_rtt <= 0:
+            raise ValueError("rate and base RTT must be positive")
+        capacity_pps = rate_bps / (8.0 * self.packet_bytes)
+        rtt_star = self.r * base_rtt
+        window_star = capacity_pps * rtt_star
+        queue_star = capacity_pps * base_rtt * (self.r - 1.0)
+        amplitude = self.delta2 * (rtt_star / self.epoch)
+        return FixedLinkPrediction(
+            capacity_pps=capacity_pps,
+            base_rtt=base_rtt,
+            r=self.r,
+            equilibrium_rtt=rtt_star,
+            equilibrium_window=window_star,
+            standing_queue_packets=queue_star,
+            queueing_delay=(self.r - 1.0) * base_rtt,
+            throughput_pps=capacity_pps,
+            oscillation_amplitude=amplitude,
+        )
+
+    # ------------------------------------------------------------------
+    def required_r_for_delay(self, base_rtt: float,
+                             delay_budget: float) -> float:
+        """Largest R whose equilibrium RTT fits a delay budget.
+
+        The inverse design question of Fig 9: given an application's
+        round-trip budget, what R should be configured?
+        """
+        if delay_budget <= base_rtt:
+            raise ValueError("budget must exceed the base RTT")
+        return delay_budget / base_rtt
+
+    def drain_margin(self, rate_bps: float, base_rtt: float) -> float:
+        """Seconds of full channel outage the standing queue absorbs
+        before the pipe idles — the throughput benefit of a larger R on
+        fluctuating channels (capacity drops of up to this duration do
+        not leave delivery opportunities unused)."""
+        prediction = self.predict_fixed_link(rate_bps, base_rtt)
+        return prediction.standing_queue_packets / prediction.capacity_pps
+
+    def epoch_sluggishness(self, base_rtt: float,
+                           epoch: float = None) -> float:
+        """Relative tracking lag of a given epoch length: the number of
+        RTTs needed to move the set-point by one base RTT.  Larger values
+        mean slower reaction to fading (the §5.3 ε sensitivity)."""
+        eps = self.epoch if epoch is None else epoch
+        per_epoch = self.delta2
+        epochs_needed = base_rtt / per_epoch
+        return epochs_needed * eps / base_rtt

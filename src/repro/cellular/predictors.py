@@ -1,0 +1,216 @@
+"""Channel throughput predictors and their evaluation.
+
+§3 of the paper ("Channel Unpredictability") tries simple predictors —
+linear and k-step-ahead — on windowed throughput series and finds they
+"fail to track the high variations of the channel".  This module implements
+those predictors plus EWMA and Holt double-exponential smoothing, and an
+evaluation harness that compares their error against the trivial
+last-value (naive) predictor.  The headline reproduction claim is that no
+predictor beats naive by a meaningful margin on bursty cellular series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class Predictor:
+    """One-step-at-a-time predictor over a scalar series.
+
+    ``update(value)`` feeds the next observation; ``predict(k)`` forecasts
+    the value ``k`` steps ahead of the last observation.
+    """
+
+    name = "predictor"
+
+    def update(self, value: float) -> None:
+        raise NotImplementedError
+
+    def predict(self, k: int = 1) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class LastValuePredictor(Predictor):
+    """Naive persistence: tomorrow equals today."""
+
+    name = "naive"
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        self._last = value
+
+    def predict(self, k: int = 1) -> float:
+        return 0.0 if self._last is None else self._last
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class MeanPredictor(Predictor):
+    """Rolling mean over the most recent ``window`` samples."""
+
+    name = "mean"
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._buf: List[float] = []
+
+    def update(self, value: float) -> None:
+        self._buf.append(value)
+        if len(self._buf) > self.window:
+            self._buf.pop(0)
+
+    def predict(self, k: int = 1) -> float:
+        return float(np.mean(self._buf)) if self._buf else 0.0
+
+    def reset(self) -> None:
+        self._buf.clear()
+
+
+class LinearPredictor(Predictor):
+    """Least-squares line over the last ``window`` samples, extrapolated.
+
+    This is the "linear predictor" of §3: fit y = a + b·t on recent samples
+    and extend the line ``k`` steps ahead.
+    """
+
+    name = "linear"
+
+    def __init__(self, window: int = 10) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+        self._buf: List[float] = []
+
+    def update(self, value: float) -> None:
+        self._buf.append(value)
+        if len(self._buf) > self.window:
+            self._buf.pop(0)
+
+    def predict(self, k: int = 1) -> float:
+        n = len(self._buf)
+        if n == 0:
+            return 0.0
+        if n == 1:
+            return self._buf[0]
+        t = np.arange(n, dtype=float)
+        b, a = np.polyfit(t, np.asarray(self._buf), 1)
+        return float(a + b * (n - 1 + k))
+
+    def reset(self) -> None:
+        self._buf.clear()
+
+
+class EwmaPredictor(Predictor):
+    """Exponentially weighted moving average (flat forecast)."""
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._level: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        if self._level is None:
+            self._level = value
+        else:
+            self._level += self.alpha * (value - self._level)
+
+    def predict(self, k: int = 1) -> float:
+        return 0.0 if self._level is None else float(self._level)
+
+    def reset(self) -> None:
+        self._level = None
+
+
+class HoltPredictor(Predictor):
+    """Holt double-exponential smoothing (level + trend), the standard
+    "k-step-ahead" forecaster the paper experiments with."""
+
+    name = "holt"
+
+    def __init__(self, alpha: float = 0.4, beta: float = 0.2) -> None:
+        for name, v in (("alpha", alpha), ("beta", beta)):
+            if not 0 < v <= 1:
+                raise ValueError(f"{name} must be in (0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self._level: Optional[float] = None
+        self._trend = 0.0
+
+    def update(self, value: float) -> None:
+        if self._level is None:
+            self._level = value
+            self._trend = 0.0
+            return
+        prev = self._level
+        self._level = self.alpha * value + (1 - self.alpha) * (prev + self._trend)
+        self._trend = self.beta * (self._level - prev) + (1 - self.beta) * self._trend
+
+    def predict(self, k: int = 1) -> float:
+        if self._level is None:
+            return 0.0
+        return float(self._level + k * self._trend)
+
+    def reset(self) -> None:
+        self._level = None
+        self._trend = 0.0
+
+
+@dataclass
+class PredictionScore:
+    """Error metrics of a predictor over one series."""
+
+    name: str
+    rmse: float
+    mae: float
+    #: Ratio of this predictor's RMSE to the naive predictor's RMSE;
+    #: values near (or above) 1.0 mean the predictor adds nothing.
+    rmse_vs_naive: float
+
+
+def evaluate_predictor(predictor: Predictor, series: Sequence[float],
+                       horizon: int = 1, warmup: int = 5) -> Dict[str, float]:
+    """Walk-forward evaluation: predict ``horizon`` steps, then reveal."""
+    values = np.asarray(series, dtype=float)
+    if values.size <= warmup + horizon:
+        raise ValueError("series too short for the requested warmup/horizon")
+    predictor.reset()
+    errors = []
+    for i, value in enumerate(values):
+        if i >= warmup and i + horizon < values.size:
+            pred = predictor.predict(horizon)
+            errors.append(pred - values[i + horizon])
+        predictor.update(value)
+    err = np.asarray(errors)
+    return {"rmse": float(np.sqrt(np.mean(err ** 2))),
+            "mae": float(np.mean(np.abs(err)))}
+
+
+def compare_predictors(series: Sequence[float], horizon: int = 1,
+                       predictors: Optional[List[Predictor]] = None,
+                       warmup: int = 5) -> List[PredictionScore]:
+    """Score a predictor suite against the naive baseline on one series."""
+    if predictors is None:
+        predictors = [LinearPredictor(), EwmaPredictor(), HoltPredictor(),
+                      MeanPredictor()]
+    naive = evaluate_predictor(LastValuePredictor(), series, horizon, warmup)
+    scores = [PredictionScore("naive", naive["rmse"], naive["mae"], 1.0)]
+    for predictor in predictors:
+        result = evaluate_predictor(predictor, series, horizon, warmup)
+        scores.append(PredictionScore(
+            predictor.name, result["rmse"], result["mae"],
+            result["rmse"] / max(naive["rmse"], 1e-12)))
+    return scores

@@ -1,0 +1,68 @@
+"""Reading and writing delivery-opportunity traces.
+
+Traces use the Mahimahi/Sprout text convention: one integer per line, the
+millisecond timestamp of a delivery opportunity (repeated timestamps mean
+multiple packet slots in the same millisecond).  This keeps generated
+synthetic traces interchangeable with real recorded traces.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_trace(path: PathLike, times_s: np.ndarray) -> None:
+    """Write a trace (seconds) to a Mahimahi-style millisecond file."""
+    arr = np.asarray(times_s, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("trace must be one-dimensional")
+    if arr.size and np.any(np.diff(arr) < 0):
+        raise ValueError("trace timestamps must be sorted")
+    ms = np.round(arr * 1000.0).astype(np.int64)
+    Path(path).write_text("\n".join(str(int(v)) for v in ms) + "\n")
+
+
+def load_trace(path: PathLike) -> np.ndarray:
+    """Read a Mahimahi-style millisecond trace into seconds."""
+    text = Path(path).read_text()
+    values = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            values.append(int(line))
+        except ValueError as exc:
+            raise ValueError(f"{path}: bad trace line {line_no}: {line!r}") from exc
+    arr = np.asarray(values, dtype=float) / 1000.0
+    if arr.size and np.any(np.diff(arr) < 0):
+        raise ValueError(f"{path}: trace timestamps are not sorted")
+    return arr
+
+
+def concatenate_traces(*traces: np.ndarray, gap_s: float = 0.001) -> np.ndarray:
+    """Join traces back to back, shifting each to follow the previous one."""
+    parts = []
+    offset = 0.0
+    for trace in traces:
+        arr = np.asarray(trace, dtype=float)
+        if arr.size == 0:
+            continue
+        parts.append(arr - arr[0] + offset)
+        offset = parts[-1][-1] + gap_s
+    if not parts:
+        return np.empty(0)
+    return np.concatenate(parts)
+
+
+def scale_trace(times_s: np.ndarray, factor: float) -> np.ndarray:
+    """Speed a trace up (< 1) or slow it down (> 1) in time."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return np.asarray(times_s, dtype=float) * factor

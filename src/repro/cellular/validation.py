@@ -1,0 +1,111 @@
+"""Statistical validation of the synthetic channel model.
+
+The substitution argument in DESIGN.md rests on the synthetic channel
+reproducing the *distributional* features the paper measured (§3).
+This module quantifies them so tests and benchmarks can assert they hold
+for any parameterisation:
+
+* burst sizes are heavy-tailed (high coefficient of variation, large
+  p95/median ratio — the paper's Fig 2 PDFs span 1 kB–1 MB);
+* burst inter-arrivals span orders of magnitude;
+* windowed throughput has high short-window variability that *grows*
+  as the window shrinks (Fig 4);
+* rate is non-stationary across seconds (slow fading) yet calibrated to
+  the configured mean;
+* LTE vs 3G ordering: more frequent, smaller bursts on LTE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..metrics import windowed_throughput
+from .bursts import detect_bursts
+from .channel_model import trace_rate_bps
+
+
+@dataclass
+class ChannelValidation:
+    """Distributional summary of one delivery-opportunity trace."""
+
+    mean_rate_bps: float
+    burst_count: int
+    burst_size_cv: float
+    burst_size_p95_over_median: float
+    interarrival_span_ratio: float     # p99 / p10 of gaps
+    cv_100ms: float
+    cv_20ms: float
+    second_scale_cv: float             # variability of 1 s windows
+
+    def checks(self, target_rate_bps: Optional[float] = None,
+               rate_tolerance: float = 0.35) -> Dict[str, bool]:
+        """The §3 channel properties as named pass/fail checks."""
+        out = {
+            "bursty_sizes": self.burst_size_cv > 0.4,
+            "heavy_tail_sizes": self.burst_size_p95_over_median > 2.0,
+            "interarrivals_vary_widely": self.interarrival_span_ratio > 3.0,
+            "short_windows_more_variable": self.cv_20ms > self.cv_100ms,
+            "fluctuates_at_100ms": self.cv_100ms > 0.2,
+            "nonstationary_at_seconds": self.second_scale_cv > 0.05,
+        }
+        if target_rate_bps is not None:
+            lo = (1 - rate_tolerance) * target_rate_bps
+            hi = (1 + rate_tolerance) * target_rate_bps
+            out["rate_calibrated"] = lo < self.mean_rate_bps < hi
+        return out
+
+    def all_ok(self, target_rate_bps: Optional[float] = None) -> bool:
+        return all(self.checks(target_rate_bps).values())
+
+
+def validate_trace(trace: np.ndarray, packet_bytes: int = 1400,
+                   duration: Optional[float] = None) -> ChannelValidation:
+    """Compute the distributional summary for one trace."""
+    arr = np.asarray(trace, dtype=float)
+    if arr.size < 50:
+        raise ValueError("trace too short to validate (need >= 50 packets)")
+    if duration is None:
+        duration = float(arr[-1])
+
+    bursts = detect_bursts(arr, packet_bytes=packet_bytes)
+    sizes = bursts.sizes_bytes
+    gaps = bursts.inter_arrivals
+    deliveries = [(t, i, 0.0, packet_bytes) for i, t in enumerate(arr)]
+    _, w100 = windowed_throughput(deliveries, 0.100, end=duration)
+    _, w20 = windowed_throughput(deliveries, 0.020, end=duration)
+    _, w1s = windowed_throughput(deliveries, 1.0, end=duration)
+
+    def cv(series):
+        mean = float(np.mean(series))
+        return float(np.std(series)) / mean if mean > 0 else float("inf")
+
+    return ChannelValidation(
+        mean_rate_bps=trace_rate_bps(arr, packet_bytes=packet_bytes),
+        burst_count=bursts.count,
+        burst_size_cv=float(np.std(sizes) / max(np.mean(sizes), 1e-9)),
+        burst_size_p95_over_median=float(
+            np.percentile(sizes, 95) / max(np.median(sizes), 1e-9)),
+        interarrival_span_ratio=float(
+            np.percentile(gaps, 99) / max(np.percentile(gaps, 10), 1e-9))
+        if gaps.size else float("inf"),
+        cv_100ms=cv(w100),
+        cv_20ms=cv(w20),
+        second_scale_cv=cv(w1s),
+    )
+
+
+def compare_technologies(trace_3g: np.ndarray, trace_lte: np.ndarray,
+                         packet_bytes: int = 1400) -> Dict[str, bool]:
+    """Fig 2's operator-independent ordering between 3G and LTE."""
+    b3g = detect_bursts(np.asarray(trace_3g), packet_bytes=packet_bytes)
+    lte = detect_bursts(np.asarray(trace_lte), packet_bytes=packet_bytes)
+    return {
+        "lte_more_bursts": lte.count > b3g.count,
+        "lte_smaller_bursts": (float(np.mean(lte.sizes_bytes))
+                               < float(np.mean(b3g.sizes_bytes))),
+        "lte_shorter_gaps": (float(np.mean(lte.inter_arrivals))
+                             < float(np.mean(b3g.inter_arrivals))),
+    }

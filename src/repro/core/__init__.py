@@ -1,0 +1,37 @@
+"""Verus — the paper's primary contribution.
+
+An end-to-end, delay-based congestion controller that learns a delay
+profile ``f: window → delay`` and walks a delay set-point along it in
+ε-epochs (eq. 1–6 of the paper), with TCP-style slow start, multiplicative
+decrease and timeout handling.
+"""
+
+from .config import VerusConfig
+from .delay_estimator import DelayEstimator
+from .delay_profiler import DelayProfiler
+from .loss_handler import LossHandler
+from .sender import (
+    NORMAL,
+    RECOVERY,
+    SLOW_START,
+    EpochDiagnostics,
+    SentRecord,
+    VerusReceiver,
+    VerusSender,
+)
+from .window_estimator import WindowEstimator
+
+__all__ = [
+    "DelayEstimator",
+    "DelayProfiler",
+    "EpochDiagnostics",
+    "LossHandler",
+    "NORMAL",
+    "RECOVERY",
+    "SLOW_START",
+    "SentRecord",
+    "VerusConfig",
+    "VerusReceiver",
+    "VerusSender",
+    "WindowEstimator",
+]

@@ -1,0 +1,117 @@
+"""Verus protocol parameters.
+
+Defaults follow §5.3 of the paper: epoch ε = 5 ms, delay-profile
+re-interpolation every 1 s, δ1 = 1 ms, δ2 = 2 ms (with 1 ms ≤ δ ≤ 2 ms and
+δ1 ≤ δ2), slow-start delay-exit threshold N = 15 × D_min, and the
+throughput/delay trade-off knob R (2, 4 or 6 in the evaluation; the paper
+sets R = 2 unless stated otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netsim.packet import MTU_BYTES
+
+
+@dataclass
+class VerusConfig:
+    """Tunable parameters of the Verus sender.
+
+    Attributes mirror the symbols of §4–§5 of the paper.
+    """
+
+    #: Epoch length ε (seconds).  The sender re-estimates its window every
+    #: epoch; 5 ms tracks fast fading without reacting to single bursts.
+    epoch: float = 0.005
+    #: Maximum tolerable ratio R between D_max and D_min (eq. 4).  Higher
+    #: values trade delay for throughput (Fig 9).
+    r: float = 2.0
+    #: Set-point decrement applied when ∆D > 0 (eq. 4, middle branch), seconds.
+    delta1: float = 0.001
+    #: Set-point increment (last branch) / aggressive decrement (first
+    #: branch) of eq. 4, seconds.
+    delta2: float = 0.002
+    #: EWMA weight on the previous epoch's maximum delay (eq. 2).
+    alpha: float = 0.7
+    #: Sliding-window horizon (seconds) for the D_min estimate, or ``None``
+    #: for the paper's literal lifetime minimum.  A windowed minimum keeps
+    #: the eq. 4 ratio test honest for flows that join a busy queue or
+    #: share with longer-RTT flows (Fig 12/13 behaviour); the lifetime
+    #: minimum reproduces the paper's TCP-coexistence result (Fig 14),
+    #: where a creeping floor would let Verus out-compete Cubic.
+    dmin_window: Optional[float] = 10.0
+    #: Multiplicative decrease factor M on loss (eq. 6).
+    multiplicative_decrease: float = 0.5
+    #: Slow start exits when a delay sample exceeds ``ss_exit_ratio × D_min``.
+    ss_exit_ratio: float = 15.0
+    #: Delay profile re-interpolation interval (seconds).  Set to ``None``
+    #: to freeze the first profile (the Fig 15 "static delay profile" ablation).
+    profile_update_interval: float = 1.0
+    #: EWMA weight for updating an existing delay-profile point toward a
+    #: newly observed (window, delay) sample.
+    profile_ewma: float = 0.5
+    #: Maximum number of distinct window points kept in the profile.
+    profile_max_points: int = 512
+    #: Knots not refreshed within this many seconds are pruned at the next
+    #: re-interpolation (``None`` disables ageing).  Prevents high-delay
+    #: knots from a past low-capacity era from permanently fencing off the
+    #: window range above them.
+    profile_max_age: Optional[float] = 10.0
+    #: Reordering tolerance: a gap is declared lost after ``loss_timeout_factor
+    #: × delay`` without the missing packet arriving (§5.2: "3*delay").
+    loss_timeout_factor: float = 3.0
+    #: Starvation escape: when the eq. 4 ratio branch holds the flow at
+    #: its minimum window for this many consecutive seconds, the windowed
+    #: delay floor is re-based to the current D_max (the old floor has
+    #: proven unachievable — e.g. competitors hold a standing queue).
+    #: ``None`` disables the escape; it is inactive anyway whenever the
+    #: flow's window is above the minimum.
+    floor_rebase_after: Optional[float] = 1.0
+    #: How many times a declared-lost packet is retransmitted before the
+    #: sender abandons it (removes it from the in-flight accounting).
+    max_retransmits: int = 2
+    #: Lower bound on the sending window (packets).
+    min_window: float = 1.0
+    #: Upper bound on the sending window (packets); guards runaway
+    #: extrapolation on effectively unbounded links.
+    max_window: float = 20000.0
+    #: Packet payload size (bytes).
+    packet_bytes: int = MTU_BYTES
+    #: Minimum retransmission timeout (seconds).
+    min_rto: float = 0.25
+    #: Record (time, window, set-point, delay) diagnostics while running.
+    record_diagnostics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epoch <= 0:
+            raise ValueError("epoch must be positive")
+        if self.r <= 1:
+            raise ValueError("R must exceed 1 (D_max/D_min ratio bound)")
+        if not 0 < self.delta1 <= self.delta2:
+            raise ValueError("need 0 < delta1 <= delta2 (paper: δ1 ≤ δ2)")
+        if not 0 < self.alpha <= 1:
+            raise ValueError("alpha must be in (0, 1] (eq. 2)")
+        if self.dmin_window is not None and self.dmin_window <= 0:
+            raise ValueError("dmin_window must be positive or None")
+        if self.floor_rebase_after is not None and self.floor_rebase_after <= 0:
+            raise ValueError("floor_rebase_after must be positive or None")
+        if self.profile_max_age is not None and self.profile_max_age <= 0:
+            raise ValueError("profile_max_age must be positive or None")
+        if not 0 < self.multiplicative_decrease < 1:
+            raise ValueError("multiplicative decrease must be in (0, 1)")
+        if self.ss_exit_ratio <= 1:
+            raise ValueError("slow-start exit ratio must exceed 1")
+        if (self.profile_update_interval is not None
+                and self.profile_update_interval <= 0):
+            raise ValueError("profile_update_interval must be positive or None")
+        if not 0 < self.profile_ewma <= 1:
+            raise ValueError("profile_ewma must be in (0, 1]")
+        if self.min_window < 0 or self.max_window < self.min_window:
+            raise ValueError("need 0 <= min_window <= max_window")
+
+    @classmethod
+    def paper_default(cls, r: float = 2.0, **overrides) -> "VerusConfig":
+        """The configuration used throughout the paper's evaluation."""
+        return cls(r=r, **overrides)

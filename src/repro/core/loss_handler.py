@@ -1,0 +1,72 @@
+"""Loss Handler — eq. 6 and the loss-recovery phase (§4, §5.2).
+
+On a detected loss the sending window collapses to ``M × W_loss`` where
+``W_loss`` is the window the lost packet was sent under ("because that
+sending window was responsible for the packet loss").  The sender then
+enters a recovery phase during which:
+
+* the delay profile is frozen (post-loss samples see drained queues and
+  would poison the profile),
+* the window grows additively, 1/W per acknowledgement (TCP-style), and
+* recovery ends once an acknowledgement arrives for a packet sent *after*
+  the decrease — identified by its ``window_at_send`` being at or below the
+  current window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LossHandler:
+    """Tracks the recovery state machine around eq. 6."""
+
+    def __init__(self, multiplicative_decrease: float = 0.5,
+                 min_window: float = 1.0):
+        if not 0 < multiplicative_decrease < 1:
+            raise ValueError("multiplicative decrease must be in (0, 1)")
+        self.m = multiplicative_decrease
+        self.min_window = min_window
+        self.in_recovery = False
+        self.losses = 0
+        self.recoveries_completed = 0
+        self._recovery_window: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def on_loss(self, w_loss: float) -> float:
+        """Apply eq. 6; returns the post-decrease window.
+
+        Repeated losses inside one recovery episode do not compound the
+        decrease (the first collapse already reflects the overshoot).
+        """
+        if self.in_recovery:
+            return self._recovery_window
+        self.losses += 1
+        self.in_recovery = True
+        self._recovery_window = max(self.min_window, self.m * w_loss)
+        return self._recovery_window
+
+    def on_ack_in_recovery(self, window_at_send: float) -> float:
+        """Process an ACK during recovery; returns the updated window.
+
+        Additive 1/W growth, with recovery exit when the acknowledged
+        packet was sent under a window at or below the current one.
+        """
+        if not self.in_recovery:
+            raise RuntimeError("not in recovery")
+        w = self._recovery_window
+        w += 1.0 / max(w, 1.0)
+        self._recovery_window = w
+        if window_at_send <= w:
+            self.in_recovery = False
+            self.recoveries_completed += 1
+        return w
+
+    @property
+    def window(self) -> Optional[float]:
+        """Current recovery window (None outside recovery episodes)."""
+        return self._recovery_window if self.in_recovery else None
+
+    def abort(self) -> None:
+        """Leave recovery without the exit condition (e.g. on hard RTO)."""
+        self.in_recovery = False

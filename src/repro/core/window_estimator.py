@@ -1,0 +1,87 @@
+"""Window Estimator — eq. 4 and eq. 5 of the paper.
+
+Maintains the delay set-point ``D_est`` and turns it into a sending budget:
+
+* eq. 4 moves the set-point each epoch based on the delay trend ∆D and the
+  hard bound R on D_max/D_min::
+
+      D_est,i+1 = D_est,i − δ2                        if D_max,i / D_min > R
+                  max(D_min, D_est,i − δ1)            elif ∆D_i > 0
+                  D_est,i + δ2                        otherwise
+
+* eq. 5 converts the looked-up next window ``W_{i+1}`` into the number of
+  packets to actually emit this epoch, accounting for the packets already
+  in flight::
+
+      S_{i+1} = max(0, W_{i+1} + (2 − n)/(n − 1) · W_i),   n = ⌈RTT/ε⌉
+
+  In steady state (W_{i+1} = W_i = W) this sends W/(n − 1) packets per
+  epoch, i.e. one full window per RTT, matching TCP's ACK clock while
+  allowing instantaneous speed-up/slow-down when the target moves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class WindowEstimator:
+    """Evolves the delay set-point and computes per-epoch send budgets."""
+
+    def __init__(self, r: float, delta1: float, delta2: float, epoch: float):
+        if r <= 1:
+            raise ValueError("R must exceed 1")
+        if not 0 < delta1 <= delta2:
+            raise ValueError("need 0 < delta1 <= delta2")
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        self.r = r
+        self.delta1 = delta1
+        self.delta2 = delta2
+        self.epoch = epoch
+        self.d_est: Optional[float] = None
+        #: Which eq. 4 branch fired last: "ratio", "backoff" or "increase".
+        self.last_branch: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def initialise(self, d_est: float) -> None:
+        """Seed the set-point (done once, when slow start hands over)."""
+        if d_est <= 0:
+            raise ValueError("initial set-point must be positive")
+        self.d_est = d_est
+
+    def update_set_point(self, delta_d: float, d_max: float,
+                         d_min: float) -> float:
+        """Apply eq. 4; returns the new D_est."""
+        if self.d_est is None:
+            raise RuntimeError("set-point not initialised")
+        if d_min <= 0:
+            raise ValueError("d_min must be positive")
+        if d_max / d_min > self.r:
+            self.d_est -= self.delta2
+            self.last_branch = "ratio"
+        elif delta_d > 0:
+            self.d_est = max(d_min, self.d_est - self.delta1)
+            self.last_branch = "backoff"
+        else:
+            self.d_est += self.delta2
+            self.last_branch = "increase"
+        # The set-point never drops below the propagation floor.
+        self.d_est = max(self.d_est, d_min)
+        return self.d_est
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def epochs_per_rtt(rtt: float, epoch: float) -> int:
+        """n = ⌈RTT/ε⌉, floored at 2 so eq. 5's divisor stays positive."""
+        if rtt <= 0:
+            return 2
+        return max(2, int(math.ceil(rtt / epoch)))
+
+    def send_budget(self, w_next: float, w_current: float, rtt: float) -> float:
+        """S_{i+1} of eq. 5 (fractional; the sender accumulates credit)."""
+        if w_next < 0 or w_current < 0:
+            raise ValueError("windows must be non-negative")
+        n = self.epochs_per_rtt(rtt, self.epoch)
+        return max(0.0, w_next + (2.0 - n) / (n - 1.0) * w_current)

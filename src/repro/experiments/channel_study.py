@@ -1,0 +1,210 @@
+"""§3 channel measurements: Figs 1–4 and the predictor study.
+
+These experiments characterise the *channel*, not any congestion
+controller: burst arrival patterns (Fig 1), burst size / inter-arrival
+distributions across operators and technologies (Fig 2), competing-traffic
+delay impact (Fig 3), windowed throughput variability (Fig 4) and the
+failure of simple predictors (§3, "Channel Unpredictability").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cellular import (
+    CellularChannelModel,
+    CompetingUser,
+    compare_predictors,
+    detect_bursts,
+    log_pdf,
+    operator_presets,
+    scenario_params,
+)
+from ..cellular.bursts import BurstStats
+from ..metrics import flow_stats, windowed_throughput
+from ..netsim import Simulator, SinkReceiver, TraceLink, OnOffSource, DropTailQueue
+from ..netsim.flow import SenderProtocol
+
+
+# ----------------------------------------------------------------------
+# Fig 1 — burst arrival pattern on an LTE 10 Mbps downlink
+# ----------------------------------------------------------------------
+@dataclass
+class BurstArrivalResult:
+    """A window of per-packet (arrival time, delay) points, as in Fig 1."""
+
+    times: np.ndarray
+    delays: np.ndarray
+    stats: BurstStats
+
+
+def fig1_burst_arrivals(duration: float = 90.0, window: Tuple[float, float] = (85.0, 85.3),
+                        seed: int = 7) -> BurstArrivalResult:
+    """Send a smooth 10 Mbps stream over an LTE channel and observe the
+    bursty arrival pattern with per-packet delays, as Fig 1 does."""
+    params = scenario_params("city_stationary", technology="lte",
+                             mean_rate_bps=12e6)
+    model = CellularChannelModel(params, rng=np.random.default_rng(seed))
+    trace = model.generate(duration)
+
+    sim = Simulator()
+    link = TraceLink(sim, trace, delay=0.03, loop=False)
+    source = OnOffSource(0, rate_bps=10e6)
+    sink = SinkReceiver(0)
+    sink.attach(sim, lambda packet: None)
+    link.dst = sink.on_data
+    source.attach(sim, link.send)
+    sim.schedule_at(0.0, source.start)
+    sim.run(until=duration)
+
+    rows = [(t, d) for (t, s, d, b) in sink.deliveries
+            if window[0] <= t <= window[1]]
+    times = np.array([r[0] for r in rows])
+    delays = np.array([r[1] for r in rows])
+    all_times = np.array([t for (t, s, d, b) in sink.deliveries])
+    return BurstArrivalResult(times=times, delays=delays,
+                              stats=detect_bursts(all_times))
+
+
+# ----------------------------------------------------------------------
+# Fig 2 — burst size and inter-arrival PDFs, 2 operators × {3G, LTE}
+# ----------------------------------------------------------------------
+@dataclass
+class BurstPdfResult:
+    """Per-configuration burst statistics and log-binned PDFs."""
+
+    stats: Dict[str, BurstStats]
+    size_pdfs: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    interarrival_pdfs: Dict[str, Tuple[np.ndarray, np.ndarray]]
+
+    def summary_rows(self) -> List[dict]:
+        rows = []
+        for label, stats in self.stats.items():
+            row = {"config": label}
+            row.update(stats.summary())
+            rows.append(row)
+        return rows
+
+
+def fig2_burst_pdfs(duration: float = 300.0, seed: int = 11) -> BurstPdfResult:
+    """Five-minute stationary downlink traces for Du/Etisalat × 3G/LTE,
+    reduced to burst-size and inter-arrival distributions (Fig 2)."""
+    stats: Dict[str, BurstStats] = {}
+    size_pdfs = {}
+    inter_pdfs = {}
+    for i, (label, params) in enumerate(sorted(operator_presets().items())):
+        model = CellularChannelModel(params, rng=np.random.default_rng(seed + i))
+        trace = model.generate(duration)
+        burst = detect_bursts(trace)
+        stats[label] = burst
+        size_pdfs[label] = log_pdf(burst.sizes_bytes)
+        inter_pdfs[label] = log_pdf(burst.inter_arrivals * 1e3)  # ms
+    return BurstPdfResult(stats=stats, size_pdfs=size_pdfs,
+                          interarrival_pdfs=inter_pdfs)
+
+
+# ----------------------------------------------------------------------
+# Fig 3 — impact of competing traffic on packet delay
+# ----------------------------------------------------------------------
+@dataclass
+class CompetingTrafficResult:
+    """Average user-1 delay with user 2 OFF vs ON, per user-1 rate."""
+
+    rows: List[dict]
+
+    def as_rows(self) -> List[dict]:
+        return self.rows
+
+
+def fig3_competing_traffic(user1_rates_mbps: Tuple[float, ...] = (1.0, 5.0, 10.0),
+                           capacity_mbps: float = 21.0,
+                           duration: float = 240.0,
+                           on_off_period: float = 60.0,
+                           seed: int = 23) -> CompetingTrafficResult:
+    """User 1 receives CBR at 1/5/10 Mbps over a 3G cell while user 2
+    toggles a 10 Mbps flow every minute; reports user 1's average packet
+    delay in OFF vs ON periods (Fig 3)."""
+    rows = []
+    for k, rate in enumerate(user1_rates_mbps):
+        user2 = CompetingUser.on_off(rate_bps=10e6, period=on_off_period,
+                                     duration=duration, start_on=False)
+        params = scenario_params("city_stationary", technology="3g",
+                                 mean_rate_bps=capacity_mbps * 1e6)
+        model = CellularChannelModel(params, rng=np.random.default_rng(seed + k))
+        trace = model.generate(duration, capacity_bps=capacity_mbps * 1e6,
+                               competitors=[user2])
+
+        sim = Simulator()
+        link = TraceLink(sim, trace, delay=0.03, loop=False,
+                         queue=DropTailQueue())
+        source = OnOffSource(0, rate_bps=rate * 1e6)
+        sink = SinkReceiver(0)
+        sink.attach(sim, lambda packet: None)
+        link.dst = sink.on_data
+        source.attach(sim, link.send)
+        sim.schedule_at(0.0, source.start)
+        sim.run(until=duration)
+
+        on_delays, off_delays = [], []
+        for (t, s, d, b) in sink.deliveries:
+            if t < 5.0:
+                continue
+            if user2.demand_at(t) > 0:
+                on_delays.append(d)
+            else:
+                off_delays.append(d)
+        rows.append({
+            "user1_rate_mbps": rate,
+            "avg_delay_off_ms": float(np.mean(off_delays) * 1e3) if off_delays else float("nan"),
+            "avg_delay_on_ms": float(np.mean(on_delays) * 1e3) if on_delays else float("nan"),
+        })
+    return CompetingTrafficResult(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Fig 4 — windowed throughput + §3 predictor comparison
+# ----------------------------------------------------------------------
+@dataclass
+class UnpredictabilityResult:
+    """Windowed throughput series plus predictor scores."""
+
+    window_100ms: Tuple[np.ndarray, np.ndarray]
+    window_20ms: Tuple[np.ndarray, np.ndarray]
+    predictor_rows: List[dict]
+
+    def variability(self, series: np.ndarray) -> float:
+        """Coefficient of variation of a throughput series."""
+        mean = float(np.mean(series))
+        return float(np.std(series)) / mean if mean > 0 else float("inf")
+
+
+def fig4_throughput_windows(duration: float = 180.0, seed: int = 31
+                            ) -> UnpredictabilityResult:
+    """A 3G stationary 10 Mbps downlink binned at 100 ms and 20 ms
+    (Fig 4), plus the linear / k-step predictor study of §3."""
+    params = scenario_params("city_stationary", technology="3g",
+                             mean_rate_bps=10e6)
+    model = CellularChannelModel(params, rng=np.random.default_rng(seed))
+    trace = model.generate(duration)
+    deliveries = [(t, i, 0.0, params.packet_bytes)
+                  for i, t in enumerate(trace)]
+
+    w100 = windowed_throughput(deliveries, 0.100, end=duration)
+    w20 = windowed_throughput(deliveries, 0.020, end=duration)
+
+    predictor_rows = []
+    for label, (_, series), horizon in (("100ms_1step", w100, 1),
+                                        ("20ms_1step", w20, 1),
+                                        ("20ms_5step", w20, 5)):
+        for score in compare_predictors(series, horizon=horizon):
+            predictor_rows.append({
+                "series": label,
+                "predictor": score.name,
+                "rmse_mbps": score.rmse / 1e6,
+                "rmse_vs_naive": score.rmse_vs_naive,
+            })
+    return UnpredictabilityResult(window_100ms=w100, window_20ms=w20,
+                                  predictor_rows=predictor_rows)

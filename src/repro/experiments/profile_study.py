@@ -1,0 +1,168 @@
+"""Delay-profile introspection: Fig 5 (example profile) and Fig 7
+(profile evolution with the channel).
+
+Runs a single Verus flow over a cellular trace with diagnostics enabled
+and extracts the learned delay profile — the recorded (window, delay)
+knots and the interpolated curve — at one instant (Fig 5) and as a
+sequence of snapshots over time (Fig 7b), next to the channel's windowed
+throughput (Fig 7a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..cellular import generate_scenario_trace
+from ..core import VerusConfig
+from ..metrics import windowed_throughput
+from .runner import FlowSpec, run_trace_contention
+
+
+@dataclass
+class ProfileSnapshot:
+    """The delay profile at one instant: knots plus interpolated curve."""
+
+    time: float
+    windows: np.ndarray
+    delays_ms: np.ndarray
+
+    @property
+    def steepness(self) -> float:
+        """Mean slope (ms per packet) — steeper means less capacity."""
+        if self.windows.size < 2:
+            return float("nan")
+        span_w = float(self.windows[-1] - self.windows[0])
+        span_d = float(self.delays_ms[-1] - self.delays_ms[0])
+        return span_d / span_w if span_w > 0 else float("inf")
+
+    @property
+    def ls_slope(self) -> float:
+        """Least-squares slope (ms per packet) over all knots — the
+        robust steepness estimate (≈ 1/capacity on a saturated path)."""
+        if self.windows.size < 5:
+            return float("nan")
+        return float(np.polyfit(self.windows, self.delays_ms, 1)[0])
+
+    def window_at_delay(self, delay_ms: float) -> float:
+        """Largest recorded window whose delay stays at or below
+        ``delay_ms`` — a robust per-snapshot capacity proxy (the flatter
+        the profile, the more window fits under a fixed delay)."""
+        if self.windows.size == 0:
+            return float("nan")
+        admissible = self.windows[self.delays_ms <= delay_ms]
+        return float(admissible.max()) if admissible.size else 0.0
+
+
+@dataclass
+class ProfileEvolutionResult:
+    """Fig 7: channel throughput series and profile snapshots over time."""
+
+    throughput_series: Tuple[np.ndarray, np.ndarray]
+    snapshots: List[ProfileSnapshot]
+    final_profile: ProfileSnapshot
+    interpolations: int
+
+
+def run_profile_study(scenario: str = "city_stationary",
+                      technology: str = "lte",
+                      cell_rate_bps: float = 20e6,
+                      duration: float = 120.0,
+                      seed: int = 47,
+                      r: float = 2.0,
+                      two_level: bool = False,
+                      level_period: float = 25.0) -> ProfileEvolutionResult:
+    """Single Verus flow over a trace, recording profile snapshots.
+
+    ``two_level=True`` replays the paper's Fig 7 conditions in controlled
+    form: the channel alternates between cell_rate/4 and cell_rate every
+    ``level_period`` seconds, so the profile-vs-capacity relationship has
+    a strong, known signal (the paper's own trace swings 0–35 Mbps).
+    """
+    if two_level:
+        from ..cellular import concatenate_traces
+        segments = []
+        t = 0.0
+        index = 0
+        while t < duration:
+            span = min(level_period, duration - t)
+            rate = cell_rate_bps / 4.0 if index % 2 == 0 else cell_rate_bps
+            segments.append(generate_scenario_trace(
+                scenario, duration=span, technology=technology,
+                mean_rate_bps=rate, seed=seed + index))
+            t += span
+            index += 1
+        trace = concatenate_traces(*segments)
+    else:
+        trace = generate_scenario_trace(scenario, duration=duration,
+                                        technology=technology,
+                                        mean_rate_bps=cell_rate_bps,
+                                        seed=seed)
+    config = VerusConfig(r=r, record_diagnostics=True)
+    spec = FlowSpec("verus", options={"config": config})
+    result = run_trace_contention(trace, [spec], duration=duration,
+                                  use_red=False, seed=seed)
+    sender = result.senders[0]
+
+    snapshots = []
+    for time, points in sender.profile_snapshots:
+        if len(points) < 2:
+            continue
+        windows = np.array(sorted(points))
+        delays = np.array([points[int(w)] for w in windows]) * 1e3
+        snapshots.append(ProfileSnapshot(time=time, windows=windows,
+                                         delays_ms=delays))
+
+    knots = sender.profiler.knots()
+    windows = np.array([w for w, _ in knots], dtype=float)
+    delays = np.array([d for _, d in knots]) * 1e3
+    final = ProfileSnapshot(time=duration, windows=windows, delays_ms=delays)
+
+    series = windowed_throughput(result.deliveries(0), window=1.0,
+                                 end=duration)
+    return ProfileEvolutionResult(throughput_series=series,
+                                  snapshots=snapshots,
+                                  final_profile=final,
+                                  interpolations=sender.profiler.interpolations)
+
+
+def fig5_example_profile(**kwargs) -> ProfileSnapshot:
+    """Fig 5: one interpolated delay profile from a live Verus run."""
+    return run_profile_study(**kwargs).final_profile
+
+
+def fig7_profile_evolution(**kwargs) -> ProfileEvolutionResult:
+    """Fig 7: delay-profile curves evolving with channel throughput."""
+    return run_profile_study(**kwargs)
+
+
+def profile_tracks_channel(result: ProfileEvolutionResult,
+                           quantile: float = 0.25) -> bool:
+    """Fig 7's qualitative claim: "the smaller the available throughput
+    is, the steeper the delay profile becomes."
+
+    Measured robustly as a capacity proxy: the window each snapshot
+    supports below a common delay threshold.  High-throughput periods
+    must support a larger window at that delay than low-throughput ones
+    (equivalently, low-throughput profiles are steeper).
+    """
+    if len(result.snapshots) < 4:
+        return False
+    times, tput = result.throughput_series
+    if times.size == 0:
+        return False
+    paired = []
+    for snap in result.snapshots:
+        idx = int(np.searchsorted(times, snap.time)) - 1
+        slope = snap.ls_slope
+        if 0 <= idx < tput.size and np.isfinite(slope):
+            paired.append((float(tput[idx]), slope))
+    if len(paired) < 4:
+        return False
+    paired.sort(key=lambda p: p[0])
+    k = max(1, int(len(paired) * quantile))
+    low_tput_slope = float(np.mean([s for _, s in paired[:k]]))
+    high_tput_slope = float(np.mean([s for _, s in paired[-k:]]))
+    return low_tput_slope > high_tput_slope

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[List[str]] = None,
+                 title: str = "") -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(val.ljust(w) for val, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Iterable, ys: Iterable,
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: int = 24) -> str:
+    """Render an (x, y) series compactly, subsampled for readability."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    step = max(1, len(xs) // max_points)
+    pairs = [f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs[::step], ys[::step])]
+    return f"{name} [{x_label} -> {y_label}]: " + " ".join(pairs)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

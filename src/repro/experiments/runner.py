@@ -1,0 +1,207 @@
+"""Experiment runners: wire protocols onto topologies and collect stats.
+
+Three topology archetypes cover every experiment in the paper:
+
+* **trace-driven contention** (§6.2): N flows share a cellular
+  :class:`~repro.netsim.trace_link.TraceLink` behind the paper's RED queue;
+* **fixed dumbbell** (§7): N flows share a constant-rate bottleneck, as in
+  the ``tc``-shaped Ethernet micro-evaluations;
+* **variable dumbbell** (§7 "rapidly changing networks"): the bottleneck
+  follows a :class:`~repro.netsim.link.LinkSchedule`.
+
+Protocols are referred to by name (``verus``, ``cubic``, ``newreno``,
+``vegas``, ``sprout``) via :func:`make_endpoints`, so experiment code and
+benchmarks stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import VerusConfig, VerusReceiver, VerusSender
+from ..metrics import FlowStats, flow_stats
+from ..netsim import (
+    Dumbbell,
+    Link,
+    LinkSchedule,
+    REDQueue,
+    Simulator,
+    TraceLink,
+    VariableLink,
+)
+from ..netsim.flow import ReceiverProtocol, SenderProtocol
+from ..pcc import PccReceiver, PccSender
+from ..sprout import SproutForecaster, SproutReceiver, SproutSender
+from ..tcp import (
+    BinomialSender,
+    CompoundSender,
+    CubicSender,
+    LedbatSender,
+    NewRenoSender,
+    TcpReceiver,
+    VegasSender,
+)
+
+PROTOCOL_NAMES = ("verus", "cubic", "newreno", "vegas", "sprout",
+                  "pcc", "ledbat", "compound", "binomial")
+
+
+@dataclass
+class FlowSpec:
+    """Declarative description of one flow in an experiment."""
+
+    protocol: str
+    label: str = ""
+    start_at: float = 0.0
+    rtt: Optional[float] = None
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_NAMES:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOL_NAMES}")
+        if not self.label:
+            self.label = self.protocol
+
+
+def make_endpoints(spec: FlowSpec, flow_id: int
+                   ) -> Tuple[SenderProtocol, ReceiverProtocol]:
+    """Instantiate the sender/receiver pair for a flow spec."""
+    opts = dict(spec.options)
+    if spec.protocol == "verus":
+        config = opts.pop("config", None)
+        if config is None:
+            config = VerusConfig(**opts)
+        return VerusSender(flow_id, config), VerusReceiver(flow_id)
+    if spec.protocol == "cubic":
+        return CubicSender(flow_id, **opts), TcpReceiver(flow_id)
+    if spec.protocol == "newreno":
+        return NewRenoSender(flow_id, **opts), TcpReceiver(flow_id)
+    if spec.protocol == "vegas":
+        return VegasSender(flow_id, **opts), TcpReceiver(flow_id)
+    if spec.protocol == "sprout":
+        sender_opts = {k: opts.pop(k) for k in ("rate_cap_bps",)
+                       if k in opts}
+        forecaster = SproutForecaster(**opts) if opts else None
+        return (SproutSender(flow_id, **sender_opts),
+                SproutReceiver(flow_id, forecaster))
+    if spec.protocol == "pcc":
+        return PccSender(flow_id, **opts), PccReceiver(flow_id)
+    if spec.protocol == "ledbat":
+        return LedbatSender(flow_id, **opts), TcpReceiver(flow_id)
+    if spec.protocol == "compound":
+        return CompoundSender(flow_id, **opts), TcpReceiver(flow_id)
+    if spec.protocol == "binomial":
+        return BinomialSender(flow_id, **opts), TcpReceiver(flow_id)
+    raise ValueError(f"unknown protocol {spec.protocol!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced, per flow."""
+
+    specs: List[FlowSpec]
+    senders: List[SenderProtocol]
+    receivers: List[ReceiverProtocol]
+    duration: float
+    warmup: float
+
+    def deliveries(self, flow_id: int):
+        return self.receivers[flow_id].deliveries
+
+    def per_flow_deliveries(self) -> Dict[int, list]:
+        return {i: r.deliveries for i, r in enumerate(self.receivers)}
+
+    def stats(self, flow_id: int) -> FlowStats:
+        spec = self.specs[flow_id]
+        return flow_stats(self.receivers[flow_id].deliveries,
+                          flow_id=flow_id, label=spec.label,
+                          start=max(self.warmup, spec.start_at),
+                          end=self.duration)
+
+    def all_stats(self) -> List[FlowStats]:
+        return [self.stats(i) for i in range(len(self.specs))]
+
+    def stats_by_label(self) -> Dict[str, List[FlowStats]]:
+        grouped: Dict[str, List[FlowStats]] = {}
+        for stat in self.all_stats():
+            grouped.setdefault(stat.label, []).append(stat)
+        return grouped
+
+
+def _run_dumbbell(sim: Simulator, bottleneck, specs: Sequence[FlowSpec],
+                  duration: float, default_rtt: float,
+                  warmup: float) -> ExperimentResult:
+    bell = Dumbbell(sim, bottleneck, default_rtt=default_rtt)
+    senders, receivers = [], []
+    for flow_id, spec in enumerate(specs):
+        sender, receiver = make_endpoints(spec, flow_id)
+        bell.add_flow(sender, receiver, rtt=spec.rtt, start_at=spec.start_at)
+        senders.append(sender)
+        receivers.append(receiver)
+    sim.run(until=duration)
+    return ExperimentResult(list(specs), senders, receivers, duration, warmup)
+
+
+def run_trace_contention(trace: np.ndarray, specs: Sequence[FlowSpec],
+                         duration: float, rtt: float = 0.01,
+                         access_delay: float = 0.005,
+                         use_red: bool = True,
+                         loss_rate: float = 0.0,
+                         warmup: float = 5.0,
+                         seed: int = 0) -> ExperimentResult:
+    """§6.2 setup: flows share a replayed cellular trace behind RED.
+
+    The RED queue uses the paper's parameters (min 3 Mbit, max 9 Mbit,
+    drop probability 10%); ``access_delay`` models the core-network path
+    between the server and the base station.
+    """
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    queue = REDQueue.paper_config(rng=rng) if use_red else None
+    bottleneck = TraceLink(sim, trace, queue=queue, delay=access_delay,
+                           loop=True, loss_rate=loss_rate, rng=rng)
+    return _run_dumbbell(sim, bottleneck, specs, duration, rtt, warmup)
+
+
+def run_fixed_dumbbell(rate_bps: float, specs: Sequence[FlowSpec],
+                       duration: float, rtt: float = 0.05,
+                       queue_bytes: Optional[int] = None,
+                       loss_rate: float = 0.0,
+                       warmup: float = 5.0,
+                       seed: int = 0) -> ExperimentResult:
+    """§7 setup: constant-rate Ethernet bottleneck (the tc testbed)."""
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    from ..netsim import DropTailQueue
+    queue = DropTailQueue(capacity_bytes=queue_bytes)
+    bottleneck = Link(sim, rate_bps, queue=queue, loss_rate=loss_rate, rng=rng)
+    return _run_dumbbell(sim, bottleneck, specs, duration, rtt, warmup)
+
+
+def run_variable_dumbbell(schedule: LinkSchedule, specs: Sequence[FlowSpec],
+                          duration: float, rtt: float = 0.02,
+                          queue_bytes: Optional[int] = 3_000_000,
+                          warmup: float = 5.0,
+                          seed: int = 0) -> ExperimentResult:
+    """§7 "rapidly changing network": schedule-driven bottleneck."""
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    from ..netsim import DropTailQueue
+    queue = DropTailQueue(capacity_bytes=queue_bytes)
+    bottleneck = VariableLink(sim, schedule, queue=queue, rng=rng)
+    return _run_dumbbell(sim, bottleneck, specs, duration, rtt, warmup)
+
+
+def repeat_flows(protocol: str, count: int, label: Optional[str] = None,
+                 start_stagger: float = 0.0, **options) -> List[FlowSpec]:
+    """Convenience: N identical flows, optionally staggered in time."""
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    return [FlowSpec(protocol=protocol,
+                     label=label if label is not None else protocol,
+                     start_at=i * start_stagger, options=dict(options))
+            for i in range(count)]

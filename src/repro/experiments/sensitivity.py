@@ -1,0 +1,69 @@
+"""§5.3 parameter sensitivity: epoch ε, profile update interval, δ1/δ2.
+
+The paper selected ε = 5 ms, a 1 s re-interpolation interval and
+δ1/δ2 = 1/2 ms through OPNET sweeps over the seven collected traces.
+These sweeps regenerate that analysis on the synthetic traces, reporting
+throughput/delay per setting so the chosen defaults can be justified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cellular import generate_scenario_trace
+from ..metrics import aggregate_stats
+from .runner import repeat_flows, run_trace_contention
+
+
+def _sweep(overrides_list: List[dict], labels: List[str],
+           scenario: str = "campus_pedestrian", flows: int = 3,
+           duration: float = 60.0, technology: str = "3g",
+           cell_rate_bps: float = 10e6, seed: int = 61) -> List[dict]:
+    trace = generate_scenario_trace(scenario, duration=duration,
+                                    technology=technology,
+                                    mean_rate_bps=cell_rate_bps, seed=seed)
+    rows = []
+    for label, overrides in zip(labels, overrides_list):
+        specs = repeat_flows("verus", flows, label=label, r=2.0, **overrides)
+        result = run_trace_contention(trace, specs, duration=duration,
+                                      seed=seed)
+        agg = aggregate_stats(result.all_stats())
+        rows.append({
+            "setting": label,
+            "mean_throughput_mbps": agg["mean_throughput_mbps"],
+            "mean_delay_ms": agg["mean_delay_ms"],
+        })
+    return rows
+
+
+def sweep_epoch(epochs: Sequence[float] = (0.002, 0.005, 0.010, 0.020, 0.050),
+                **kwargs) -> List[dict]:
+    """ε sweep: small epochs react faster (the paper lands on 5 ms)."""
+    return _sweep([{"epoch": e} for e in epochs],
+                  [f"epoch_{e * 1e3:g}ms" for e in epochs], **kwargs)
+
+
+def sweep_update_interval(intervals: Sequence[Optional[float]] = (0.25, 0.5, 1.0, 2.0, 5.0),
+                          **kwargs) -> List[dict]:
+    """Profile re-interpolation interval sweep (paper: 1 s)."""
+    return _sweep([{"profile_update_interval": i} for i in intervals],
+                  [f"update_{i:g}s" for i in intervals], **kwargs)
+
+
+def sweep_deltas(pairs: Sequence[tuple] = ((0.0005, 0.001), (0.001, 0.001),
+                                           (0.001, 0.002), (0.002, 0.002),
+                                           (0.002, 0.004)),
+                 **kwargs) -> List[dict]:
+    """δ1/δ2 sweep with the paper's constraint δ1 ≤ δ2."""
+    return _sweep([{"delta1": d1, "delta2": d2} for d1, d2 in pairs],
+                  [f"d{d1 * 1e3:g}_{d2 * 1e3:g}ms" for d1, d2 in pairs],
+                  **kwargs)
+
+
+def sweep_alpha(alphas: Sequence[float] = (0.3, 0.5, 0.7, 0.9),
+                **kwargs) -> List[dict]:
+    """EWMA α of eq. 2 (not pinned by the paper; default 0.7 here)."""
+    return _sweep([{"alpha": a} for a in alphas],
+                  [f"alpha_{a:g}" for a in alphas], **kwargs)

@@ -1,0 +1,62 @@
+"""Uplink evaluation (§6.2: "the observations are similar for the uplink").
+
+The paper collects uplink traces at 2.5 Mbps (3G HSPA+) alongside the
+downlink ones and reports that every §6.2 observation carries over.
+This experiment reruns the core trace-driven comparison on uplink
+channel presets: sparser grant scheduling, uplink provisioning rates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..cellular import generate_scenario_trace
+from ..metrics import aggregate_stats
+from .runner import repeat_flows, run_trace_contention
+
+UPLINK_PROTOCOLS = (
+    ("verus", {"r": 2.0}),
+    ("cubic", {}),
+    ("newreno", {}),
+)
+
+
+def uplink_comparison(scenario: str = "campus_pedestrian",
+                      flows: int = 5, duration: float = 60.0,
+                      technology: str = "3g",
+                      cell_rate_bps: float = 8e6,
+                      seed: int = 41) -> List[Dict]:
+    """Per-protocol mean throughput/delay on an uplink channel."""
+    trace = generate_scenario_trace(scenario, duration=duration,
+                                    technology=technology,
+                                    mean_rate_bps=cell_rate_bps,
+                                    direction="uplink", seed=seed)
+    rows = []
+    for protocol, options in UPLINK_PROTOCOLS:
+        specs = repeat_flows(protocol, flows, **options)
+        result = run_trace_contention(trace, specs, duration=duration,
+                                      seed=seed)
+        agg = aggregate_stats(result.all_stats())
+        rows.append({
+            "protocol": protocol,
+            "direction": "uplink",
+            "mean_throughput_mbps": agg["mean_throughput_mbps"],
+            "mean_delay_ms": agg["mean_delay_ms"],
+        })
+    return rows
+
+
+def observations_carry_over(rows: Sequence[Dict]) -> Dict[str, bool]:
+    """The §6.2 observations, checked on the uplink rows."""
+    by_protocol = {row["protocol"]: row for row in rows}
+    verus = by_protocol["verus"]
+    cubic = by_protocol["cubic"]
+    return {
+        "verus_delay_far_below_cubic":
+            verus["mean_delay_ms"] < cubic["mean_delay_ms"] / 2.5,
+        "verus_throughput_comparable":
+            verus["mean_throughput_mbps"]
+            > 0.4 * cubic["mean_throughput_mbps"],
+    }

@@ -1,0 +1,23 @@
+"""From-scratch interpolation library (replaces ALGLIB in the C++ Verus).
+
+Natural cubic splines, monotone PCHIP, linear interpolation, and inverse
+(largest-window-below-delay) lookup used by the Verus delay profiler.
+"""
+
+from .inverse import InverseLookup, find_crossing, monotone_envelope
+from .spline import (
+    Interpolator,
+    LinearInterpolator,
+    NaturalCubicSpline,
+    PchipInterpolator,
+)
+
+__all__ = [
+    "Interpolator",
+    "InverseLookup",
+    "LinearInterpolator",
+    "NaturalCubicSpline",
+    "PchipInterpolator",
+    "find_crossing",
+    "monotone_envelope",
+]

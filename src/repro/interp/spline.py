@@ -1,0 +1,229 @@
+"""Spline interpolation, built from scratch.
+
+The C++ Verus prototype constructs its delay profile with ALGLIB's cubic
+spline.  This module provides the equivalents used by the reproduction:
+
+* :class:`NaturalCubicSpline` — the classic C2 interpolant (tridiagonal
+  solve for second derivatives, natural boundary conditions).
+* :class:`PchipInterpolator` — monotone cubic Hermite interpolation
+  (Fritsch–Carlson slope limiting).  Because the delay profile is, up to
+  noise, a monotonically increasing function of the window, PCHIP avoids the
+  oscillation artifacts a plain cubic spline introduces between noisy knots;
+  the Verus window lookup uses it by default.
+* :class:`LinearInterpolator` — piecewise-linear baseline.
+
+All interpolators share evaluation semantics: inside the knot range they
+interpolate; outside they extrapolate linearly with the boundary slope,
+which lets Verus grow its window beyond the explored region of the profile.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _validate_knots(x: Sequence[float], y: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.ndim != 1 or ya.ndim != 1:
+        raise ValueError("knots must be one-dimensional")
+    if xa.size != ya.size:
+        raise ValueError(f"x and y must have equal length ({xa.size} != {ya.size})")
+    if xa.size < 2:
+        raise ValueError("need at least two knots")
+    if np.any(np.diff(xa) <= 0):
+        raise ValueError("x knots must be strictly increasing")
+    if not (np.all(np.isfinite(xa)) and np.all(np.isfinite(ya))):
+        raise ValueError("knots must be finite")
+    return xa, ya
+
+
+class Interpolator:
+    """Common evaluation/extrapolation scaffolding for all interpolants."""
+
+    def __init__(self, x: Sequence[float], y: Sequence[float]):
+        self.x, self.y = _validate_knots(x, y)
+
+    # subclasses fill these in -----------------------------------------
+    def _eval_inside(self, xq: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _boundary_slopes(self) -> Tuple[float, float]:
+        raise NotImplementedError
+
+    # -------------------------------------------------------------------
+    def __call__(self, xq) -> np.ndarray:
+        scalar = np.isscalar(xq)
+        q = np.atleast_1d(np.asarray(xq, dtype=float))
+        out = np.empty_like(q)
+
+        lo, hi = self.x[0], self.x[-1]
+        left = q < lo
+        right = q > hi
+        inside = ~(left | right)
+
+        if np.any(inside):
+            idx = np.clip(np.searchsorted(self.x, q[inside], side="right") - 1,
+                          0, self.x.size - 2)
+            out[inside] = self._eval_inside(q[inside], idx)
+        s_lo, s_hi = self._boundary_slopes()
+        if np.any(left):
+            out[left] = self.y[0] + s_lo * (q[left] - lo)
+        if np.any(right):
+            out[right] = self.y[-1] + s_hi * (q[right] - hi)
+        return float(out[0]) if scalar else out
+
+    @property
+    def domain(self) -> Tuple[float, float]:
+        return float(self.x[0]), float(self.x[-1])
+
+
+class LinearInterpolator(Interpolator):
+    """Piecewise-linear interpolation with linear extrapolation."""
+
+    def __init__(self, x: Sequence[float], y: Sequence[float]):
+        super().__init__(x, y)
+        self._slopes = np.diff(self.y) / np.diff(self.x)
+
+    def _eval_inside(self, xq: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        return self.y[idx] + self._slopes[idx] * (xq - self.x[idx])
+
+    def _boundary_slopes(self) -> Tuple[float, float]:
+        return float(self._slopes[0]), float(self._slopes[-1])
+
+
+class NaturalCubicSpline(Interpolator):
+    """C2 cubic spline with natural (zero second-derivative) boundaries.
+
+    Second derivatives at the knots are obtained with the Thomas algorithm
+    on the standard tridiagonal system.
+    """
+
+    def __init__(self, x: Sequence[float], y: Sequence[float]):
+        super().__init__(x, y)
+        n = self.x.size
+        h = np.diff(self.x)
+        if n == 2:
+            self.m = np.zeros(2)
+        else:
+            # Tridiagonal system for interior second derivatives m[1..n-2].
+            sub = h[:-1].copy()
+            diag = 2.0 * (h[:-1] + h[1:])
+            sup = h[1:].copy()
+            rhs = 6.0 * (np.diff(self.y[1:]) / h[1:] - np.diff(self.y[:-1]) / h[:-1])
+            m_inner = _thomas_solve(sub, diag, sup, rhs)
+            self.m = np.concatenate([[0.0], m_inner, [0.0]])
+        self._h = h
+
+    def _eval_inside(self, xq: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        x0 = self.x[idx]
+        x1 = self.x[idx + 1]
+        y0 = self.y[idx]
+        y1 = self.y[idx + 1]
+        m0 = self.m[idx]
+        m1 = self.m[idx + 1]
+        h = self._h[idx]
+        a = (x1 - xq) / h
+        b = (xq - x0) / h
+        return (a * y0 + b * y1
+                + ((a ** 3 - a) * m0 + (b ** 3 - b) * m1) * h * h / 6.0)
+
+    def _boundary_slopes(self) -> Tuple[float, float]:
+        h0, hn = self._h[0], self._h[-1]
+        s_lo = (self.y[1] - self.y[0]) / h0 - h0 * self.m[1] / 6.0
+        s_hi = (self.y[-1] - self.y[-2]) / hn + hn * self.m[-2] / 6.0
+        return float(s_lo), float(s_hi)
+
+    def second_derivatives(self) -> np.ndarray:
+        """Knot second derivatives (useful for smoothness tests)."""
+        return self.m.copy()
+
+
+class PchipInterpolator(Interpolator):
+    """Monotone piecewise cubic Hermite (Fritsch–Carlson 1980).
+
+    Preserves monotonicity of the data: if ``y`` is non-decreasing between
+    knots, the interpolant is non-decreasing everywhere between those knots
+    and never overshoots.  This is the interpolant the Verus delay profiler
+    uses for window lookup.
+    """
+
+    def __init__(self, x: Sequence[float], y: Sequence[float]):
+        super().__init__(x, y)
+        self.d = _pchip_slopes(self.x, self.y)
+        self._h = np.diff(self.x)
+
+    def _eval_inside(self, xq: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        h = self._h[idx]
+        t = (xq - self.x[idx]) / h
+        y0 = self.y[idx]
+        y1 = self.y[idx + 1]
+        d0 = self.d[idx]
+        d1 = self.d[idx + 1]
+        h00 = (1 + 2 * t) * (1 - t) ** 2
+        h10 = t * (1 - t) ** 2
+        h01 = t ** 2 * (3 - 2 * t)
+        h11 = t ** 2 * (t - 1)
+        return h00 * y0 + h10 * h * d0 + h01 * y1 + h11 * h * d1
+
+    def _boundary_slopes(self) -> Tuple[float, float]:
+        return float(self.d[0]), float(self.d[-1])
+
+
+def _thomas_solve(sub: np.ndarray, diag: np.ndarray, sup: np.ndarray,
+                  rhs: np.ndarray) -> np.ndarray:
+    """Solve a tridiagonal system in O(n) (Thomas algorithm).
+
+    ``sub``/``sup`` are the sub/super diagonals; all arrays are copied.
+    """
+    n = diag.size
+    c = sup.astype(float).copy()
+    d = rhs.astype(float).copy()
+    b = diag.astype(float).copy()
+    a = sub.astype(float)
+    for i in range(1, n):
+        w = a[i - 1] / b[i - 1] if i - 1 < a.size else 0.0
+        b[i] -= w * c[i - 1]
+        d[i] -= w * d[i - 1]
+    out = np.empty(n)
+    out[-1] = d[-1] / b[-1]
+    for i in range(n - 2, -1, -1):
+        out[i] = (d[i] - c[i] * out[i + 1]) / b[i]
+    return out
+
+
+def _pchip_slopes(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Fritsch–Carlson limited derivatives at the knots."""
+    h = np.diff(x)
+    delta = np.diff(y) / h
+    n = x.size
+    d = np.zeros(n)
+    if n == 2:
+        d[:] = delta[0]
+        return d
+    # Interior: weighted harmonic mean when secants agree in sign, else 0.
+    # (errstate: near-subnormal secants can overflow the intermediate
+    # division; the harmonic mean then correctly collapses to ~0.)
+    with np.errstate(over="ignore", divide="ignore"):
+        for i in range(1, n - 1):
+            if delta[i - 1] * delta[i] <= 0:
+                d[i] = 0.0
+            else:
+                w1 = 2 * h[i] + h[i - 1]
+                w2 = h[i] + 2 * h[i - 1]
+                d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i])
+    d[0] = _edge_slope(h[0], h[1], delta[0], delta[1])
+    d[-1] = _edge_slope(h[-1], h[-2], delta[-1], delta[-2])
+    return d
+
+
+def _edge_slope(h0: float, h1: float, d0: float, d1: float) -> float:
+    """One-sided three-point slope estimate with the PCHIP edge limiter."""
+    s = ((2 * h0 + h1) * d0 - h0 * d1) / (h0 + h1)
+    if s * d0 <= 0:
+        return 0.0
+    if d0 * d1 < 0 and abs(s) > 3 * abs(d0):
+        return 3.0 * d0
+    return float(s)

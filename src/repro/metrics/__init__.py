@@ -1,0 +1,26 @@
+"""Measurement and analysis utilities: flow statistics, windowed series,
+Jain's fairness index (eq. 7)."""
+
+from .fairness import jain_index, windowed_jain_index, worst_case_index
+from .stats import (
+    Delivery,
+    FlowStats,
+    aggregate_stats,
+    delay_cdf,
+    flow_stats,
+    windowed_delay,
+    windowed_throughput,
+)
+
+__all__ = [
+    "Delivery",
+    "FlowStats",
+    "aggregate_stats",
+    "delay_cdf",
+    "flow_stats",
+    "jain_index",
+    "windowed_delay",
+    "windowed_jain_index",
+    "windowed_throughput",
+    "worst_case_index",
+]

@@ -1,0 +1,68 @@
+"""Fairness metrics — Jain's index (eq. 7) and the paper's windowed variant.
+
+The paper computes Jain's fairness index over one-second windows of
+per-flow throughput and averages the per-window values into the overall
+fairness number reported in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .stats import Delivery, windowed_throughput
+
+
+def jain_index(throughputs: Sequence[float]) -> float:
+    """Jain's fairness index (eq. 7): (Σx)² / (n · Σx²), in [1/n, 1].
+
+    Degenerate all-zero inputs return perfect fairness (everyone got
+    nothing, equally).
+    """
+    x = np.asarray(list(throughputs), dtype=float)
+    if x.size == 0:
+        raise ValueError("need at least one throughput value")
+    if np.any(x < 0):
+        raise ValueError("throughputs must be non-negative")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0:
+        return 1.0
+    return float(np.sum(x)) ** 2 / denom
+
+
+def windowed_jain_index(per_flow_deliveries: Dict[int, Sequence[Delivery]],
+                        window: float = 1.0, start: float = 0.0,
+                        end: Optional[float] = None,
+                        skip_empty: bool = True) -> float:
+    """The paper's Table 1 metric: Jain's index per 1 s window, averaged.
+
+    ``skip_empty`` drops windows in which no flow received anything (e.g.
+    a full channel outage), which would otherwise count as perfectly fair.
+    """
+    if not per_flow_deliveries:
+        raise ValueError("need at least one flow")
+    if end is None:
+        end = max((d[0] for ds in per_flow_deliveries.values() for d in ds),
+                  default=start)
+    series = {}
+    for flow_id, deliveries in per_flow_deliveries.items():
+        _, tput = windowed_throughput(deliveries, window, start=start, end=end)
+        series[flow_id] = tput
+    n_windows = min((len(v) for v in series.values()), default=0)
+    if n_windows == 0:
+        return 1.0
+    indices: List[float] = []
+    for w in range(n_windows):
+        values = [series[f][w] for f in series]
+        if skip_empty and all(v == 0 for v in values):
+            continue
+        indices.append(jain_index(values))
+    return float(np.mean(indices)) if indices else 1.0
+
+
+def worst_case_index(n: int) -> float:
+    """The 1/n lower bound of Jain's index for ``n`` flows."""
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    return 1.0 / n

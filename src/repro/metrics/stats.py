@@ -1,0 +1,159 @@
+"""Flow statistics: throughput, delay and time-series utilities.
+
+Every experiment reduces receiver delivery records — ``(arrival_time, seq,
+delay, size)`` tuples — into the quantities the paper reports: average
+throughput, average/percentile per-packet delay, windowed throughput
+series (Fig 4, Fig 11–14) and summary scatter points (Figs 8–10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Delivery = Tuple[float, int, float, int]  # (time, seq, delay, size)
+
+
+@dataclass
+class FlowStats:
+    """Summary statistics of one flow over an observation interval."""
+
+    flow_id: int
+    label: str
+    duration: float
+    bytes_received: int
+    packets_received: int
+    throughput_bps: float
+    mean_delay: float
+    median_delay: float
+    p95_delay: float
+    max_delay: float
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / 1e6
+
+    @property
+    def mean_delay_ms(self) -> float:
+        return self.mean_delay * 1e3
+
+    def as_dict(self) -> dict:
+        return {
+            "flow": self.flow_id,
+            "label": self.label,
+            "throughput_mbps": round(self.throughput_mbps, 3),
+            "mean_delay_ms": round(self.mean_delay_ms, 1),
+            "median_delay_ms": round(self.median_delay * 1e3, 1),
+            "p95_delay_ms": round(self.p95_delay * 1e3, 1),
+        }
+
+
+def flow_stats(deliveries: Sequence[Delivery], flow_id: int = 0,
+               label: str = "", start: float = 0.0,
+               end: Optional[float] = None) -> FlowStats:
+    """Summarise delivery records over ``[start, end)``.
+
+    ``start`` defaults to dropping nothing; pass a warm-up cutoff to
+    exclude slow-start transients, as the paper's averaged figures do.
+    """
+    rows = [d for d in deliveries if d[0] >= start and (end is None or d[0] < end)]
+    if end is None:
+        end = max((d[0] for d in rows), default=start)
+    duration = max(end - start, 1e-9)
+    if not rows:
+        return FlowStats(flow_id, label, duration, 0, 0, 0.0,
+                         float("nan"), float("nan"), float("nan"), float("nan"))
+    delays = np.array([d[2] for d in rows])
+    size = sum(d[3] for d in rows)
+    return FlowStats(
+        flow_id=flow_id,
+        label=label,
+        duration=duration,
+        bytes_received=size,
+        packets_received=len(rows),
+        throughput_bps=size * 8.0 / duration,
+        mean_delay=float(delays.mean()),
+        median_delay=float(np.median(delays)),
+        p95_delay=float(np.percentile(delays, 95)),
+        max_delay=float(delays.max()),
+    )
+
+
+def windowed_throughput(deliveries: Sequence[Delivery], window: float,
+                        start: float = 0.0,
+                        end: Optional[float] = None
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Throughput binned into fixed windows (Fig 4's 100 ms / 20 ms views).
+
+    Returns ``(window_start_times, throughput_bps)``.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if not deliveries:
+        return np.empty(0), np.empty(0)
+    times = np.array([d[0] for d in deliveries])
+    sizes = np.array([d[3] for d in deliveries], dtype=float)
+    if end is None:
+        end = float(times.max()) + window
+    n_bins = max(1, int(np.ceil((end - start) / window)))
+    edges = start + np.arange(n_bins + 1) * window
+    totals, _ = np.histogram(times, bins=edges, weights=sizes)
+    return edges[:-1], totals * 8.0 / window
+
+
+def windowed_delay(deliveries: Sequence[Delivery], window: float,
+                   start: float = 0.0, end: Optional[float] = None,
+                   agg: str = "mean") -> Tuple[np.ndarray, np.ndarray]:
+    """Per-window delay aggregate; ``agg`` is 'mean', 'max' or 'p95'."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if agg not in ("mean", "max", "p95"):
+        raise ValueError(f"unknown aggregate {agg!r}")
+    if not deliveries:
+        return np.empty(0), np.empty(0)
+    times = np.array([d[0] for d in deliveries])
+    delays = np.array([d[2] for d in deliveries])
+    if end is None:
+        end = float(times.max()) + window
+    n_bins = max(1, int(np.ceil((end - start) / window)))
+    edges = start + np.arange(n_bins + 1) * window
+    idx = np.clip(((times - start) / window).astype(int), 0, n_bins - 1)
+    out = np.full(n_bins, np.nan)
+    for b in range(n_bins):
+        chunk = delays[idx == b]
+        if chunk.size == 0:
+            continue
+        if agg == "mean":
+            out[b] = chunk.mean()
+        elif agg == "max":
+            out[b] = chunk.max()
+        else:
+            out[b] = np.percentile(chunk, 95)
+    return edges[:-1], out
+
+
+def delay_cdf(deliveries: Sequence[Delivery],
+              start: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of per-packet delay."""
+    delays = np.sort([d[2] for d in deliveries if d[0] >= start])
+    if len(delays) == 0:
+        return np.empty(0), np.empty(0)
+    fractions = np.arange(1, len(delays) + 1) / len(delays)
+    return np.asarray(delays), fractions
+
+
+def aggregate_stats(stats: Iterable[FlowStats]) -> dict:
+    """Mean throughput/delay across flows (the paper's averaged points)."""
+    items = list(stats)
+    if not items:
+        return {"flows": 0}
+    return {
+        "flows": len(items),
+        "mean_throughput_mbps": float(np.mean([s.throughput_mbps for s in items])),
+        "total_throughput_mbps": float(np.sum([s.throughput_mbps for s in items])),
+        "mean_delay_ms": float(np.nanmean([s.mean_delay_ms for s in items])),
+        "max_p95_delay_ms": float(np.nanmax([s.p95_delay for s in items]) * 1e3),
+        "throughput_std_mbps": float(np.std([s.throughput_mbps for s in items])),
+    }

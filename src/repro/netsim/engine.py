@@ -1,0 +1,202 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic heap-based event scheduler.  All network elements
+(links, queues, protocol endpoints, traffic sources) schedule callbacks on a
+shared :class:`Simulator` instance.  Simulated time is a float measured in
+seconds; there is no wall-clock coupling, which sidesteps the timing-precision
+problems a real-time Python implementation of Verus would have.
+
+Events fire in non-decreasing time order.  Ties are broken by scheduling
+order (FIFO among simultaneous events), which makes runs fully deterministic
+for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven in an inconsistent way."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and may be cancelled.
+    A cancelled event stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending and not cancelled."""
+        return not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} [{state}]>"
+
+
+class Simulator:
+    """Heap-based discrete-event scheduler.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "fires at t=1.5")
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self.now})"
+            )
+        event = Event(time, callback, args)
+        heapq.heappush(self._heap, (time, next(self._counter), event))
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or stop().
+
+        ``until`` is inclusive: an event scheduled exactly at ``until`` fires.
+        After running with ``until``, ``now`` is advanced to ``until`` even if
+        the heap drained earlier, so repeated ``run`` calls see monotone time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        count = 0
+        try:
+            while self._heap:
+                time, _, event = self._heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self.now = time
+                event.callback(*event.args)
+                self.events_processed += 1
+                count += 1
+                if self._stopped:
+                    break
+                if max_events is not None and count >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+
+    def step(self) -> bool:
+        """Execute the single next pending event.  Returns False if none."""
+        while self._heap:
+            time, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = time
+            event.callback(*event.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop the current ``run`` after the in-flight callback returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the heap is empty."""
+        for time, _, event in sorted(self._heap)[:16]:
+            if not event.cancelled:
+                return time
+        for time, _, event in sorted(self._heap):
+            if not event.cancelled:
+                return time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"
+
+
+class PeriodicTimer:
+    """Repeating timer built on a :class:`Simulator`.
+
+    Fires ``callback()`` every ``interval`` seconds until :meth:`stop`.
+    The first firing occurs ``interval`` seconds after :meth:`start`
+    (or immediately if ``fire_now`` is set).
+    """
+
+    def __init__(self, sim: Simulator, interval: float, callback: Callable[[], Any]):
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive (got {interval})")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self._event: Optional[Event] = None
+        self._running = False
+
+    def start(self, fire_now: bool = False) -> None:
+        self._running = True
+        delay = 0.0 if fire_now else self.interval
+        self._event = self.sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.callback()
+        if self._running:
+            self._event = self.sim.schedule(self.interval, self._fire)

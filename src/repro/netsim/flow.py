@@ -1,0 +1,134 @@
+"""Protocol endpoint interfaces and flow wiring.
+
+Every congestion controller in this repository (Verus, TCP variants, Sprout)
+implements the small :class:`SenderProtocol` interface; every receiver
+implements :class:`ReceiverProtocol`.  Endpoints are attached to a simulator
+and a transmit callable, so the same protocol code runs unchanged over fixed
+links, trace-driven cellular links, and schedule-driven variable links.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .engine import Simulator
+from .packet import Packet
+
+Transmit = Callable[[Packet], None]
+
+
+class SenderProtocol:
+    """Base class for congestion-controlled senders.
+
+    Subclasses implement :meth:`start` (begin transmitting) and
+    :meth:`on_ack` (acknowledgement arrival).  ``self.send(packet)`` injects
+    a data packet into the attached network path.
+    """
+
+    def __init__(self, flow_id: int):
+        self.flow_id = flow_id
+        self.sim: Optional[Simulator] = None
+        self._tx: Optional[Transmit] = None
+        self.running = False
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.start_time: Optional[float] = None
+        self.stop_time: Optional[float] = None
+
+    # -- wiring --------------------------------------------------------
+    def attach(self, sim: Simulator, tx: Transmit) -> None:
+        self.sim = sim
+        self._tx = tx
+
+    def send(self, packet: Packet) -> None:
+        if self._tx is None or self.sim is None:
+            raise RuntimeError("sender not attached to a network path")
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self._tx(packet)
+
+    @property
+    def now(self) -> float:
+        if self.sim is None:
+            raise RuntimeError("sender not attached")
+        return self.sim.now
+
+    # -- protocol hooks --------------------------------------------------
+    def start(self) -> None:
+        self.running = True
+        self.start_time = self.now
+
+    def stop(self) -> None:
+        self.running = False
+        self.stop_time = self.now
+
+    def on_ack(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ReceiverProtocol:
+    """Base receiver: acknowledges data and records delivery statistics.
+
+    The default behaviour — one acknowledgement per data packet, echoing the
+    sender timestamp and window metadata — is what Verus and Sprout use.
+    TCP receivers override :meth:`on_data` to send cumulative ACKs.
+
+    Recorded per delivery: arrival time, sequence, one-way delay (arrival
+    minus original send time, i.e. including all queueing) and size.  These
+    records feed every figure's throughput/delay statistics.
+    """
+
+    def __init__(self, flow_id: int):
+        self.flow_id = flow_id
+        self.sim: Optional[Simulator] = None
+        self._tx: Optional[Transmit] = None
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.deliveries: List[Tuple[float, int, float, int]] = []
+        self.record = True
+
+    def attach(self, sim: Simulator, tx: Transmit) -> None:
+        self.sim = sim
+        self._tx = tx
+
+    @property
+    def now(self) -> float:
+        if self.sim is None:
+            raise RuntimeError("receiver not attached")
+        return self.sim.now
+
+    def send_ack(self, ack: Packet) -> None:
+        if self._tx is None:
+            raise RuntimeError("receiver not attached to a reverse path")
+        self._tx(ack)
+
+    def on_data(self, packet: Packet) -> None:
+        self._record(packet)
+        self.send_ack(packet.make_ack(self.now))
+
+    def _record(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self.bytes_received += packet.size
+        if self.record:
+            delay = self.now - packet.sent_time
+            self.deliveries.append((self.now, packet.seq, delay, packet.size))
+
+
+class Demux:
+    """Routes packets arriving at a shared link output to per-flow sinks."""
+
+    def __init__(self) -> None:
+        self._sinks: Dict[int, Callable[[Packet], None]] = {}
+        self.unroutable = 0
+
+    def register(self, flow_id: int, sink: Callable[[Packet], None]) -> None:
+        if flow_id in self._sinks:
+            raise ValueError(f"flow {flow_id} already registered")
+        self._sinks[flow_id] = sink
+
+    def __call__(self, packet: Packet) -> None:
+        sink = self._sinks.get(packet.flow_id)
+        if sink is None:
+            self.unroutable += 1
+            return
+        sink(packet)

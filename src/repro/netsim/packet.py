@@ -1,0 +1,92 @@
+"""Packet representation shared by every protocol in the reproduction.
+
+A single packet class serves data and acknowledgement roles.  Congestion
+controllers stamp protocol-specific metadata on data packets (e.g. Verus
+records the sending window a packet was emitted under, eq. 6 of the paper
+needs ``W_loss``); receivers echo that metadata back on ACKs so the sender
+can reconstruct per-packet context without keeping unbounded state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Default maximum transmission unit used throughout the paper's experiments.
+MTU_BYTES = 1400
+
+#: Nominal size of a bare acknowledgement.
+ACK_BYTES = 40
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifier of the flow the packet belongs to.
+    seq:
+        Sequence number, counted in packets (not bytes).
+    size:
+        Wire size in bytes, including headers.
+    sent_time:
+        Simulation time at which the *original* transmission happened.  For
+        retransmissions this is refreshed so delay samples stay meaningful
+        (Karn's rule is enforced separately by the TCP sender).
+    is_ack:
+        True for acknowledgements travelling on the reverse path.
+    ack_seq:
+        For ACKs: cumulative acknowledgement (next expected seq) for TCP, or
+        the per-packet seq being acknowledged for Verus/Sprout.
+    echo_sent_time:
+        For ACKs: the ``sent_time`` of the packet being acknowledged, echoed
+        so the sender computes RTT without per-packet state.
+    window_at_send:
+        Verus: sending window W_i in effect when the data packet left the
+        sender; echoed on the ACK (used for the delay profile and eq. 6).
+    retransmission:
+        True if this transmission is a retransmission.
+    enqueue_time:
+        Stamped by queues on entry; used for queue-delay accounting.
+    payload:
+        Free-form slot for protocol-specific extras (e.g. Sprout forecast).
+    """
+
+    flow_id: int
+    seq: int
+    size: int = MTU_BYTES
+    sent_time: float = 0.0
+    is_ack: bool = False
+    ack_seq: int = -1
+    echo_sent_time: float = 0.0
+    window_at_send: float = 0.0
+    retransmission: bool = False
+    enqueue_time: float = 0.0
+    ecn: bool = False
+    payload: Optional[dict] = field(default=None, repr=False)
+
+    def make_ack(self, now: float, ack_seq: Optional[int] = None,
+                 size: int = ACK_BYTES) -> "Packet":
+        """Build the acknowledgement for this data packet.
+
+        ``ack_seq`` defaults to this packet's own sequence number (per-packet
+        acknowledgement, as used by Verus and Sprout); TCP receivers pass the
+        cumulative next-expected sequence instead.
+        """
+        return Packet(
+            flow_id=self.flow_id,
+            seq=self.seq,
+            size=size,
+            sent_time=now,
+            is_ack=True,
+            ack_seq=self.seq if ack_seq is None else ack_seq,
+            echo_sent_time=self.sent_time,
+            window_at_send=self.window_at_send,
+            retransmission=self.retransmission,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ACK" if self.is_ack else "DATA"
+        return f"<{kind} flow={self.flow_id} seq={self.seq} size={self.size}>"

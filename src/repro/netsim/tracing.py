@@ -1,0 +1,131 @@
+"""Packet-event tracing: tap any link and export per-packet timelines.
+
+Debugging congestion control means asking "where did packet 4711 spend
+its time?".  A :class:`PacketTap` wraps any destination callable and logs
+(time, event, packet) records; :class:`FlowTracer` assembles taps placed
+at the sender exit and receiver entry into per-packet timelines with
+one-way delay decomposition.  Export is a plain-text "pcap-lite" that
+diffs cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from .packet import Packet
+
+Destination = Callable[[Packet], None]
+
+
+@dataclass
+class TapRecord:
+    """One observed packet event."""
+
+    time: float
+    point: str          # e.g. "sender-out", "receiver-in"
+    flow_id: int
+    seq: int
+    size: int
+    is_ack: bool
+    retransmission: bool
+
+    def line(self) -> str:
+        kind = "ACK " if self.is_ack else "DATA"
+        rtx = " RTX" if self.retransmission else ""
+        return (f"{self.time * 1e3:12.3f}ms  {self.point:<14s} {kind} "
+                f"flow={self.flow_id} seq={self.seq} size={self.size}{rtx}")
+
+
+class PacketTap:
+    """Transparent observation point in front of any destination."""
+
+    def __init__(self, point: str, dst: Optional[Destination] = None,
+                 clock: Optional[Callable[[], float]] = None,
+                 max_records: Optional[int] = None):
+        if not point:
+            raise ValueError("tap needs a point name")
+        self.point = point
+        self.dst = dst
+        self.clock = clock
+        self.max_records = max_records
+        self.records: List[TapRecord] = []
+        self.dropped_records = 0
+
+    def __call__(self, packet: Packet) -> None:
+        now = self.clock() if self.clock is not None else packet.sent_time
+        if self.max_records is None or len(self.records) < self.max_records:
+            self.records.append(TapRecord(
+                time=now, point=self.point, flow_id=packet.flow_id,
+                seq=packet.seq, size=packet.size, is_ack=packet.is_ack,
+                retransmission=packet.retransmission))
+        else:
+            self.dropped_records += 1
+        if self.dst is not None:
+            self.dst(packet)
+
+    # convenience -------------------------------------------------------
+    def seqs(self) -> List[int]:
+        return [r.seq for r in self.records]
+
+    def count(self, is_ack: Optional[bool] = None) -> int:
+        if is_ack is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.is_ack == is_ack)
+
+
+class FlowTracer:
+    """Collects taps and reconstructs per-packet timelines."""
+
+    def __init__(self) -> None:
+        self.taps: Dict[str, PacketTap] = {}
+
+    def tap(self, point: str, dst: Optional[Destination] = None,
+            clock: Optional[Callable[[], float]] = None,
+            max_records: Optional[int] = None) -> PacketTap:
+        """Create and register a tap; insert its return value as ``dst``."""
+        if point in self.taps:
+            raise ValueError(f"tap {point!r} already registered")
+        created = PacketTap(point, dst=dst, clock=clock,
+                            max_records=max_records)
+        self.taps[point] = created
+        return created
+
+    def timeline(self, flow_id: int, seq: int) -> List[TapRecord]:
+        """All events for one packet, time-ordered across taps."""
+        events = [record
+                  for tap in self.taps.values()
+                  for record in tap.records
+                  if record.flow_id == flow_id and record.seq == seq]
+        return sorted(events, key=lambda r: r.time)
+
+    def hop_delay(self, flow_id: int, seq: int, from_point: str,
+                  to_point: str) -> Optional[float]:
+        """First-crossing delay of a data packet between two taps."""
+        start = self._first(flow_id, seq, from_point)
+        end = self._first(flow_id, seq, to_point)
+        if start is None or end is None:
+            return None
+        return end.time - start.time
+
+    def _first(self, flow_id: int, seq: int,
+               point: str) -> Optional[TapRecord]:
+        tap = self.taps.get(point)
+        if tap is None:
+            return None
+        for record in tap.records:
+            if (record.flow_id == flow_id and record.seq == seq
+                    and not record.is_ack):
+                return record
+        return None
+
+    def export(self, path) -> int:
+        """Write all records, time-ordered, to a text file.  Returns the
+        number of lines written."""
+        records = sorted(
+            (record for tap in self.taps.values() for record in tap.records),
+            key=lambda r: (r.time, r.point))
+        text = "\n".join(record.line() for record in records)
+        Path(path).write_text(text + ("\n" if text else ""))
+        return len(records)

@@ -1,0 +1,26 @@
+"""PCC Allegro baseline (NSDI'15) — utility-driven rate control.
+
+Cited by the paper as adapting "on the order of seconds"; implemented so
+the benchmarks can measure that adaptation-speed gap against Verus on
+rapidly changing links.
+"""
+
+from .sender import (
+    ADJUSTING,
+    DECISION,
+    STARTING,
+    MonitorInterval,
+    PccReceiver,
+    PccSender,
+    allegro_utility,
+)
+
+__all__ = [
+    "ADJUSTING",
+    "DECISION",
+    "MonitorInterval",
+    "PccReceiver",
+    "PccSender",
+    "STARTING",
+    "allegro_utility",
+]

@@ -1,0 +1,25 @@
+"""Sprout baseline: stochastic-forecast congestion control (NSDI'13).
+
+Bayesian belief over a drifting Poisson delivery rate, 5th-percentile
+cautious forecasts, 100 ms drain target, and the 18 Mbps implementation
+cap the paper's §7 discusses.
+"""
+
+from .forecast import (
+    CAUTION_QUANTILE,
+    TARGET_DELAY,
+    TICK_SECONDS,
+    RateBelief,
+    SproutForecaster,
+)
+from .sender import SproutReceiver, SproutSender
+
+__all__ = [
+    "CAUTION_QUANTILE",
+    "RateBelief",
+    "SproutForecaster",
+    "SproutReceiver",
+    "SproutSender",
+    "TARGET_DELAY",
+    "TICK_SECONDS",
+]

@@ -1,0 +1,173 @@
+"""Stochastic link-rate forecasting — the Sprout baseline's engine.
+
+Re-implements the control law of Sprout (Winstein, Sivaraman,
+Balakrishnan, NSDI'13), the state-of-the-art cellular protocol the paper
+compares against.  The receiver models packet deliveries per 20 ms tick as
+a Poisson process whose rate λ drifts (Brownian motion in the log domain),
+maintains a discretised Bayesian belief over λ, and produces a *cautious
+forecast*: the 5th-percentile cumulative number of deliverable packets
+over the next several ticks.  The sender keeps no more packets in flight
+than the cautious forecast predicts can drain within the 100 ms target
+delay, which yields Sprout's signature low queueing delay — and its
+conservatism on rapidly improving channels, which Fig 11 of the Verus
+paper exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+#: Sprout's tick length (seconds).
+TICK_SECONDS = 0.020
+#: Queueing-delay target (seconds): drain everything within 100 ms.
+TARGET_DELAY = 0.100
+#: Forecast risk quantile: plan for the 5th-percentile channel.
+CAUTION_QUANTILE = 0.05
+
+
+class RateBelief:
+    """Discretised Bayesian belief over the per-tick delivery rate λ.
+
+    The support is a log-spaced grid; evolution is a Gaussian random walk
+    in log λ (approximating Sprout's Brownian-motion prior) implemented as
+    a convolution over grid indices, and observations update the belief
+    with the Poisson likelihood of the packet count seen in a tick.
+    """
+
+    def __init__(self, min_rate: float = 0.05, max_rate: float = 300.0,
+                 bins: int = 192, evolve_sigma: float = 0.18):
+        if not 0 < min_rate < max_rate:
+            raise ValueError("need 0 < min_rate < max_rate")
+        if bins < 8:
+            raise ValueError("need at least 8 bins")
+        if evolve_sigma <= 0:
+            raise ValueError("evolve_sigma must be positive")
+        self.log_rates = np.linspace(math.log(min_rate), math.log(max_rate), bins)
+        self.rates = np.exp(self.log_rates)
+        self.prob = np.full(bins, 1.0 / bins)
+        step = self.log_rates[1] - self.log_rates[0]
+        # Precomputed evolution kernel over grid indices.
+        half_width = max(1, int(math.ceil(3 * evolve_sigma / step)))
+        offsets = np.arange(-half_width, half_width + 1)
+        kernel = np.exp(-0.5 * (offsets * step / evolve_sigma) ** 2)
+        self._kernel = kernel / kernel.sum()
+        self._log_rates_col = self.log_rates
+
+    # ------------------------------------------------------------------
+    def evolve(self) -> None:
+        """One tick of Brownian drift: convolve the belief with the kernel."""
+        self.prob = np.convolve(self.prob, self._kernel, mode="same")
+        total = self.prob.sum()
+        if total <= 0:
+            self.prob = np.full_like(self.prob, 1.0 / self.prob.size)
+        else:
+            self.prob /= total
+
+    def observe(self, packets: int, censored: bool = False) -> None:
+        """Multiply in the likelihood of ``packets`` arrivals in one tick.
+
+        ``censored=True`` means the tick drained everything offered (no
+        queue built up), so the count is only a *lower bound* on what the
+        link could have delivered: the likelihood becomes the Poisson tail
+        P(X ≥ k) instead of the point mass P(X = k).  Without this
+        distinction a self-clocked sender would keep confirming its own
+        throttled sending rate and never ramp up.
+        """
+        if packets < 0:
+            raise ValueError("packet count must be non-negative")
+        if censored:
+            if packets == 0:
+                return  # "at least zero" carries no information
+            from scipy.special import gammainc
+            likelihood = gammainc(packets, self.rates)  # P(Poisson(λ) >= k)
+        else:
+            log_lik = (packets * self._log_rates_col - self.rates
+                       - math.lgamma(packets + 1))
+            log_lik -= log_lik.max()
+            likelihood = np.exp(log_lik)
+        posterior = self.prob * likelihood
+        total = posterior.sum()
+        if total <= 0:
+            # Observation wildly outside the prior's support; reset flat.
+            self.prob = np.full_like(self.prob, 1.0 / self.prob.size)
+        else:
+            self.prob = posterior / total
+
+    def quantile(self, q: float) -> float:
+        """Rate at the q-quantile of the belief."""
+        if not 0 < q < 1:
+            raise ValueError("quantile must be in (0, 1)")
+        cdf = np.cumsum(self.prob)
+        idx = int(np.searchsorted(cdf, q))
+        return float(self.rates[min(idx, self.rates.size - 1)])
+
+    def mean(self) -> float:
+        return float(np.dot(self.prob, self.rates))
+
+
+class SproutForecaster:
+    """Tick-driven forecaster producing the cautious in-flight budget."""
+
+    def __init__(self, tick: float = TICK_SECONDS,
+                 target_delay: float = TARGET_DELAY,
+                 quantile: float = CAUTION_QUANTILE,
+                 rate_cap_bps: Optional[float] = None,
+                 packet_bytes: int = 1400,
+                 belief: Optional[RateBelief] = None):
+        if tick <= 0 or target_delay <= 0:
+            raise ValueError("tick and target_delay must be positive")
+        self.tick = tick
+        self.target_delay = target_delay
+        self.quantile = quantile
+        self.packet_bytes = packet_bytes
+        self.rate_cap_bps = rate_cap_bps
+        self.belief = belief if belief is not None else RateBelief()
+        self.ticks_processed = 0
+
+    # ------------------------------------------------------------------
+    def on_tick(self, packets_this_tick: int, censored: bool = False) -> float:
+        """Advance one tick with the observed arrivals; returns the budget.
+
+        ``censored`` marks ticks during which the link drained everything
+        offered (observation is a lower bound only — see
+        :meth:`RateBelief.observe`).  The budget is the number of packets
+        that may be outstanding such that, at the 5th-percentile channel
+        rate, everything drains within the target delay.  The paper notes
+        the Sprout *implementation* caps its bandwidth at 18 Mbps;
+        ``rate_cap_bps`` reproduces that cap (set ``None`` to lift it, for
+        sensitivity studies).
+        """
+        self.belief.evolve()
+        self.belief.observe(packets_this_tick, censored=censored)
+        self.ticks_processed += 1
+        return self.cautious_budget()
+
+    def cautious_budget(self) -> float:
+        horizon_ticks = max(1, int(round(self.target_delay / self.tick)))
+        cautious_rate = self.belief.quantile(self.quantile)
+        cautious_rate = self._apply_cap(cautious_rate)
+        # Widen uncertainty for each further look-ahead tick: evolve a copy
+        # of the belief and re-take the quantile.
+        budget = 0.0
+        look = self.belief.prob.copy()
+        kernel = self.belief._kernel
+        rates = self.belief.rates
+        for _ in range(horizon_ticks):
+            look = np.convolve(look, kernel, mode="same")
+            s = look.sum()
+            if s > 0:
+                look /= s
+            cdf = np.cumsum(look)
+            idx = int(np.searchsorted(cdf, self.quantile))
+            rate = float(rates[min(idx, rates.size - 1)])
+            budget += self._apply_cap(rate)
+        return budget
+
+    def _apply_cap(self, rate_packets_per_tick: float) -> float:
+        if self.rate_cap_bps is None:
+            return rate_packets_per_tick
+        cap = self.rate_cap_bps * self.tick / (8.0 * self.packet_bytes)
+        return min(rate_packets_per_tick, cap)

@@ -1,0 +1,29 @@
+"""Loss- and delay-based legacy TCP baselines on the shared simulator.
+
+The paper's direct comparison points — NewReno (RFC 6582 recovery, Reno
+AIMD), Cubic (Linux default) and Vegas (classic delay-based control) —
+plus the other §2-cited legacy designs: LEDBAT (RFC 6817 background
+transport), Compound TCP (Windows) and Binomial congestion control.
+All are packet-level models over the :mod:`repro.netsim` substrate.
+"""
+
+from .base import DUPACK_THRESHOLD, INITIAL_WINDOW, TcpReceiver, TcpSender
+from .binomial import BinomialSender
+from .compound import CompoundSender
+from .cubic import CubicSender
+from .ledbat import LedbatSender
+from .newreno import NewRenoSender
+from .vegas import VegasSender
+
+__all__ = [
+    "BinomialSender",
+    "CompoundSender",
+    "CubicSender",
+    "DUPACK_THRESHOLD",
+    "INITIAL_WINDOW",
+    "LedbatSender",
+    "NewRenoSender",
+    "TcpReceiver",
+    "TcpSender",
+    "VegasSender",
+]

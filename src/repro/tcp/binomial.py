@@ -1,0 +1,63 @@
+"""Binomial congestion control (Bansal & Balakrishnan, INFOCOM 2001).
+
+Cited by the paper (§2, [2]).  Generalises AIMD with two exponents::
+
+    increase:  cwnd += alpha / cwnd^k        per RTT
+    decrease:  cwnd -= beta  · cwnd^l        on loss
+
+(k=0, l=1) is AIMD; (k=1, l=0) is IIAD (inverse-increase /
+additive-decrease); (k=l=0.5) is SQRT.  The non-AIMD members reduce
+less than multiplicatively on loss, which made them attractive for
+streaming media — and makes them an instructive baseline on stochastic-
+loss cellular links, where their gentler backoff partially masks the
+random-loss penalty that cripples AIMD.
+"""
+
+from __future__ import annotations
+
+from .base import TcpSender
+
+
+class BinomialSender(TcpSender):
+    """Binomial (k, l) window control; defaults to SQRT (k=l=0.5)."""
+
+    name = "binomial"
+
+    def __init__(self, flow_id: int, k: float = 0.5, l: float = 0.5,
+                 alpha: float = 1.0, beta: float = 0.5, **kwargs):
+        super().__init__(flow_id, **kwargs)
+        if k < 0 or l < 0:
+            raise ValueError("exponents must be non-negative")
+        if k + l < 1:
+            # k + l >= 1 is the TCP-friendliness condition of the paper.
+            raise ValueError("need k + l >= 1 for TCP-friendliness")
+        if alpha <= 0 or not 0 < beta <= 1:
+            raise ValueError("need alpha > 0 and 0 < beta <= 1")
+        self.k = k
+        self.l = l
+        self.alpha = alpha
+        self.beta = beta
+
+    @classmethod
+    def aimd(cls, flow_id: int, **kwargs) -> "BinomialSender":
+        """(k=0, l=1): classic AIMD expressed in the binomial family."""
+        return cls(flow_id, k=0.0, l=1.0, **kwargs)
+
+    @classmethod
+    def iiad(cls, flow_id: int, **kwargs) -> "BinomialSender":
+        """(k=1, l=0): inverse increase, additive decrease."""
+        return cls(flow_id, k=1.0, l=0.0, beta=1.0, **kwargs)
+
+    @classmethod
+    def sqrt(cls, flow_id: int, **kwargs) -> "BinomialSender":
+        """(k=l=0.5): the SQRT rule."""
+        return cls(flow_id, k=0.5, l=0.5, **kwargs)
+
+    # ------------------------------------------------------------------
+    def ca_increment(self, newly_acked: int) -> None:
+        w = max(self.cwnd, 1.0)
+        self.cwnd += self.alpha * newly_acked / (w ** self.k * w)
+
+    def ssthresh_on_loss(self) -> float:
+        w = max(self.cwnd, 1.0)
+        return max(2.0, w - self.beta * (w ** self.l))

@@ -1,0 +1,93 @@
+"""LEDBAT — Low Extra Delay Background Transport (RFC 6817).
+
+Cited by the paper (§2, [27]) among the legacy delay-based designs that
+"are not directly suited for cellular network conditions".  LEDBAT aims
+to keep one-way queueing delay at a fixed ``TARGET`` (100 ms) and yields
+to any other traffic: the window moves proportionally to the gap between
+the measured queueing delay and the target,
+
+    cwnd += GAIN · (TARGET − queuing_delay) / TARGET · acked / cwnd
+
+with standard halving on loss.  Including it lets the reproduction show
+*why* a fixed delay target underperforms Verus's learned profile on a
+bursty cell: the controller chases a constant that the channel's burst
+structure crosses hundreds of times per minute.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from .base import TcpSender
+
+
+class LedbatSender(TcpSender):
+    """LEDBAT window control on the shared TCP skeleton.
+
+    One-way-delay is approximated by RTT minus the base RTT (accurate in
+    the simulator, where the reverse path is uncongested).  The base
+    delay is the minimum over the last ``base_history`` one-minute
+    windows per RFC 6817 §4.2, so route changes age out.
+    """
+
+    name = "ledbat"
+
+    def __init__(self, flow_id: int, target: float = 0.100,
+                 gain: float = 1.0, base_history: int = 10, **kwargs):
+        super().__init__(flow_id, **kwargs)
+        if target <= 0:
+            raise ValueError("target must be positive")
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        self.target = target
+        self.gain = gain
+        self.base_history = base_history
+        self._base_windows: Deque[Tuple[int, float]] = deque()
+        self._current_minute: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _update_base(self, rtt: float) -> None:
+        minute = int(self.now / 60.0)
+        if self._current_minute != minute:
+            self._current_minute = minute
+            self._base_windows.append((minute, rtt))
+            while len(self._base_windows) > self.base_history:
+                self._base_windows.popleft()
+        else:
+            last_minute, value = self._base_windows[-1]
+            if rtt < value:
+                self._base_windows[-1] = (last_minute, rtt)
+
+    def base_delay(self) -> Optional[float]:
+        if not self._base_windows:
+            return None
+        return min(value for _, value in self._base_windows)
+
+    # ------------------------------------------------------------------
+    def on_rtt_sample(self, rtt: float) -> None:
+        self._update_base(rtt)
+
+    def ca_increment(self, newly_acked: int) -> None:
+        base = self.base_delay()
+        if base is None or self.srtt is None:
+            self.cwnd += newly_acked / max(self.cwnd, 1.0)
+            return
+        queuing_delay = max(0.0, self.srtt - base)
+        off_target = (self.target - queuing_delay) / self.target
+        self.cwnd += (self.gain * off_target * newly_acked
+                      / max(self.cwnd, 1.0))
+        self.cwnd = max(2.0, self.cwnd)
+
+    def slow_start_increment(self, newly_acked: int) -> None:
+        # RFC 6817 permits slow start but requires leaving it once the
+        # delay objective is violated.
+        base = self.base_delay()
+        if (base is not None and self.srtt is not None
+                and self.srtt - base > self.target):
+            self.ssthresh = min(self.ssthresh, self.cwnd)
+            return
+        self.cwnd += newly_acked
+
+    def ssthresh_on_loss(self) -> float:
+        return max(2.0, self.cwnd / 2.0)

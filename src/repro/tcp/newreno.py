@@ -1,0 +1,25 @@
+"""TCP NewReno (RFC 6582).
+
+The base class already implements the NewReno recovery machinery (fast
+retransmit on three duplicate ACKs, partial-ACK retransmission, window
+deflation); this subclass pins the classic Reno AIMD parameters: additive
+increase of one segment per RTT and multiplicative decrease of one half.
+The paper runs NewReno "with default parameters according to ... Windows 7
+configurations" as one of its two loss-based baselines.
+"""
+
+from __future__ import annotations
+
+from .base import TcpSender
+
+
+class NewRenoSender(TcpSender):
+    """Classic AIMD: +1 MSS per RTT, ×0.5 on loss."""
+
+    name = "newreno"
+
+    def ca_increment(self, newly_acked: int) -> None:
+        self.cwnd += newly_acked / max(self.cwnd, 1.0)
+
+    def ssthresh_on_loss(self) -> float:
+        return max(2.0, self.flight() / 2.0)

@@ -1,0 +1,83 @@
+"""TCP Vegas (Brakmo & Peterson 1994) — the delay-based legacy baseline.
+
+Vegas estimates the backlog it keeps in the bottleneck queue as
+
+    diff = cwnd · (RTT − baseRTT) / RTT        [packets]
+
+once per RTT and nudges the window to hold ``alpha ≤ diff ≤ beta``
+(defaults 2 and 4 packets).  Slow start doubles only every other RTT and
+exits once ``diff`` exceeds ``gamma``.  The paper cites Vegas as the
+inspiration for delay-based control and includes it in the real-world
+macro comparison (Fig 8), where its single-queue assumptions break down on
+bursty cellular links.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import TcpSender
+
+
+class VegasSender(TcpSender):
+    """Vegas diff-based congestion avoidance."""
+
+    name = "vegas"
+
+    def __init__(self, flow_id: int, alpha: float = 2.0, beta: float = 4.0,
+                 gamma: float = 1.0, **kwargs):
+        super().__init__(flow_id, **kwargs)
+        if not 0 < alpha <= beta:
+            raise ValueError("need 0 < alpha <= beta")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.base_rtt: Optional[float] = None
+        self._min_rtt_round: Optional[float] = None
+        self._round_end = 0
+        self._ss_grow_this_round = True
+
+    # ------------------------------------------------------------------
+    def on_rtt_sample(self, rtt: float) -> None:
+        if self.base_rtt is None or rtt < self.base_rtt:
+            self.base_rtt = rtt
+        if self._min_rtt_round is None or rtt < self._min_rtt_round:
+            self._min_rtt_round = rtt
+
+    def _diff(self) -> Optional[float]:
+        rtt = self._min_rtt_round
+        if rtt is None or self.base_rtt is None or rtt <= 0:
+            return None
+        return self.cwnd * (rtt - self.base_rtt) / rtt
+
+    def slow_start_increment(self, newly_acked: int) -> None:
+        # Vegas doubles every *other* RTT so the diff signal has time to
+        # form, and leaves slow start on queue build-up, not loss.
+        if self.snd_una >= self._round_end:
+            diff = self._diff()
+            if diff is not None and diff > self.gamma:
+                self.ssthresh = min(self.ssthresh, self.cwnd)
+                self._end_round()
+                return
+            self._ss_grow_this_round = not self._ss_grow_this_round
+            self._end_round()
+        if self._ss_grow_this_round:
+            self.cwnd += newly_acked
+
+    def ca_increment(self, newly_acked: int) -> None:
+        if self.snd_una < self._round_end:
+            return
+        diff = self._diff()
+        if diff is not None:
+            if diff < self.alpha:
+                self.cwnd += 1.0
+            elif diff > self.beta:
+                self.cwnd = max(2.0, self.cwnd - 1.0)
+        self._end_round()
+
+    def _end_round(self) -> None:
+        self._round_end = self.snd_nxt
+        self._min_rtt_round = None
+
+    def ssthresh_on_loss(self) -> float:
+        return max(2.0, self.flight() / 2.0)

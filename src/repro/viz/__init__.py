@@ -1,0 +1,12 @@
+"""Dependency-free terminal plots: sparklines, line/scatter charts and
+histograms used by the CLI to render the paper's figures as text."""
+
+from .ascii import histogram, line_chart, multi_line_chart, scatter_plot, sparkline
+
+__all__ = [
+    "histogram",
+    "line_chart",
+    "multi_line_chart",
+    "scatter_plot",
+    "sparkline",
+]

@@ -1,0 +1,196 @@
+"""Terminal visualisation: ASCII line charts, scatter plots and sparklines.
+
+The benchmarks print the rows/series behind every paper figure; this
+module renders them as actual terminal plots so `python -m repro run
+fig11` shows the Fig 11 time series, not just numbers.  No plotting
+dependency is used — everything is plain text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line sparkline of a series (NaNs render as spaces)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if width is not None and width > 0 and arr.size > width:
+        # Downsample by block means.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([np.nanmean(arr[a:b]) if b > a else np.nan
+                        for a, b in zip(edges[:-1], edges[1:])])
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for value in arr:
+        if not np.isfinite(value):
+            chars.append(" ")
+            continue
+        if span == 0:
+            level = 4
+        else:
+            level = int(round((value - lo) / span * 8))
+        chars.append(_SPARK_LEVELS[max(1, min(level, 8))])
+    return "".join(chars)
+
+
+def line_chart(xs: Sequence[float], ys: Sequence[float],
+               width: int = 72, height: int = 14,
+               title: str = "", y_label: str = "",
+               x_label: str = "") -> str:
+    """Render a single series as an ASCII chart with axis annotations."""
+    return multi_line_chart({"": (xs, ys)}, width=width, height=height,
+                            title=title, y_label=y_label, x_label=x_label)
+
+
+_SERIES_MARKS = "*o+x#@%&"
+
+
+def multi_line_chart(series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+                     width: int = 72, height: int = 14, title: str = "",
+                     y_label: str = "", x_label: str = "") -> str:
+    """Render several (x, y) series on one ASCII canvas.
+
+    Each series gets its own mark character; a legend line maps them.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small")
+
+    cleaned = {}
+    for name, (xs, ys) in series.items():
+        x = np.asarray(list(xs), dtype=float)
+        y = np.asarray(list(ys), dtype=float)
+        if x.shape != y.shape:
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        mask = np.isfinite(x) & np.isfinite(y)
+        if mask.any():
+            cleaned[name] = (x[mask], y[mask])
+    if not cleaned:
+        return f"{title}\n(no finite data)"
+
+    all_x = np.concatenate([x for x, _ in cleaned.values()])
+    all_y = np.concatenate([y for _, y in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, (x, y)) in enumerate(cleaned.items()):
+        mark = _SERIES_MARKS[index % len(_SERIES_MARKS)]
+        cols = np.clip(((x - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int),
+                       0, width - 1)
+        rows = np.clip(((y - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int),
+                       0, height - 1)
+        for col, row in zip(cols, rows):
+            canvas[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_hi_text = _format_number(y_hi)
+    y_lo_text = _format_number(y_lo)
+    gutter = max(len(y_hi_text), len(y_lo_text)) + 1
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = y_hi_text.rjust(gutter)
+        elif row_index == height - 1:
+            label = y_lo_text.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label}│{''.join(row)}")
+    axis = " " * gutter + "└" + "─" * width
+    lines.append(axis)
+    x_lo_text = _format_number(x_lo)
+    x_hi_text = _format_number(x_hi)
+    padding = width - len(x_lo_text) - len(x_hi_text)
+    lines.append(" " * (gutter + 1) + x_lo_text + " " * max(padding, 1)
+                 + x_hi_text)
+    footer_parts = []
+    if x_label:
+        footer_parts.append(f"x: {x_label}")
+    if y_label:
+        footer_parts.append(f"y: {y_label}")
+    if len(cleaned) > 1:
+        legend = "  ".join(
+            f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]}={name}"
+            for i, name in enumerate(cleaned))
+        footer_parts.append(legend)
+    if footer_parts:
+        lines.append(" " * (gutter + 1) + "   ".join(footer_parts))
+    return "\n".join(lines)
+
+
+def scatter_plot(points: Dict[str, List[Tuple[float, float]]],
+                 width: int = 72, height: int = 14, title: str = "",
+                 x_label: str = "", y_label: str = "",
+                 log_x: bool = False) -> str:
+    """Scatter plot of labelled point groups (the Fig 8/9/10 style).
+
+    ``log_x`` renders the x axis logarithmically, matching the paper's
+    delay axes.
+    """
+    series = {}
+    for name, pts in points.items():
+        if not pts:
+            continue
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        if log_x:
+            if any(x <= 0 for x in xs):
+                raise ValueError("log_x requires positive x values")
+            xs = [math.log10(x) for x in xs]
+        series[name] = (xs, ys)
+    label = f"log10({x_label})" if log_x else x_label
+    return multi_line_chart(series, width=width, height=height, title=title,
+                            x_label=label, y_label=y_label)
+
+
+def histogram(values: Sequence[float], bins: int = 20, width: int = 50,
+              title: str = "", log: bool = False) -> str:
+    """Horizontal ASCII histogram."""
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return f"{title}\n(no data)"
+    if log:
+        arr = arr[arr > 0]
+        edges = np.logspace(np.log10(arr.min()), np.log10(arr.max()),
+                            bins + 1)
+    else:
+        edges = np.linspace(arr.min(), arr.max() + 1e-12, bins + 1)
+    counts, _ = np.histogram(arr, bins=edges)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "█" * int(round(count / peak * width))
+        lines.append(f"{_format_number(edges[i]):>10} {bar} {count}")
+    return "\n".join(lines)
+
+
+def _format_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if magnitude >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    if magnitude >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3g}"

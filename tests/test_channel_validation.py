@@ -1,0 +1,77 @@
+"""Tests for the channel-model statistical validation."""
+
+import numpy as np
+import pytest
+
+from repro.cellular import (
+    SCENARIO_NAMES,
+    ChannelValidation,
+    compare_technologies,
+    generate_scenario_trace,
+    validate_trace,
+)
+
+
+class TestValidateTrace:
+    def test_rejects_short_traces(self):
+        with pytest.raises(ValueError):
+            validate_trace(np.linspace(0, 1, 10))
+
+    def test_smooth_trace_fails_burstiness_checks(self):
+        """A perfectly-paced CBR trace must NOT look like a cellular
+        channel — the validator distinguishes the two."""
+        smooth = np.arange(1, 20_000) * 0.002   # 1 packet every 2 ms
+        validation = validate_trace(smooth)
+        checks = validation.checks()
+        assert not checks["bursty_sizes"]
+        assert not checks["heavy_tail_sizes"]
+        assert not checks["interarrivals_vary_widely"]
+        assert not checks["fluctuates_at_100ms"]
+
+    def test_synthetic_3g_passes_all_checks(self):
+        trace = generate_scenario_trace("city_stationary", duration=60.0,
+                                        technology="3g",
+                                        mean_rate_bps=10e6, seed=3)
+        validation = validate_trace(trace)
+        checks = validation.checks(target_rate_bps=10e6)
+        failed = [name for name, ok in checks.items() if not ok]
+        assert not failed, failed
+
+    def test_synthetic_lte_passes_all_checks(self):
+        trace = generate_scenario_trace("campus_pedestrian", duration=60.0,
+                                        technology="lte",
+                                        mean_rate_bps=15e6, seed=4)
+        validation = validate_trace(trace)
+        assert validation.all_ok(target_rate_bps=15e6)
+
+    @pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+    def test_every_scenario_exhibits_channel_character(self, scenario):
+        """All seven §5.3 scenarios must show the §3 phenomena."""
+        trace = generate_scenario_trace(scenario, duration=45.0,
+                                        technology="3g",
+                                        mean_rate_bps=8e6, seed=6)
+        validation = validate_trace(trace)
+        checks = validation.checks()   # no rate check: outages skew means
+        core = ("bursty_sizes", "short_windows_more_variable",
+                "fluctuates_at_100ms")
+        assert all(checks[name] for name in core), checks
+
+    def test_mobility_raises_second_scale_variability(self):
+        stationary = validate_trace(generate_scenario_trace(
+            "campus_stationary", duration=60.0, seed=8))
+        highway = validate_trace(generate_scenario_trace(
+            "highway_driving", duration=60.0, seed=8))
+        assert highway.second_scale_cv > stationary.second_scale_cv
+
+
+class TestCompareTechnologies:
+    def test_ordering_holds_across_seeds(self):
+        for seed in (1, 2, 3):
+            t3g = generate_scenario_trace("city_stationary", duration=45.0,
+                                          technology="3g",
+                                          mean_rate_bps=10e6, seed=seed)
+            lte = generate_scenario_trace("city_stationary", duration=45.0,
+                                          technology="lte",
+                                          mean_rate_bps=10e6, seed=seed)
+            ordering = compare_technologies(t3g, lte)
+            assert all(ordering.values()), (seed, ordering)

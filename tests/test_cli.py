@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestParsing:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig1" in out and "table1" in out and "fig15" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_registry_covers_all_paper_items(self):
+        expected = {f"fig{i}" for i in (1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 12,
+                                        13, 14, 15)}
+        expected |= {"table1", "sensitivity", "shortflows", "uplink",
+                     "landscape"}
+        assert set(EXPERIMENTS) == expected
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "verus" in out and "cubic" in out
+
+    def test_trace_generation(self, tmp_path, capsys):
+        out_file = tmp_path / "t.trace"
+        code = main(["trace", "--scenario", "city_driving",
+                     "--duration", "5", "--out", str(out_file)])
+        assert code == 0
+        from repro.cellular import load_trace
+        trace = load_trace(out_file)
+        assert trace.size > 100
+        assert np.all(np.diff(trace) >= 0)
+
+    def test_run_fig3_prints_table(self, capsys):
+        assert main(["run", "fig3", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out
+        assert "avg_delay_on_ms" in out
+
+    def test_run_fig13_prints_jain(self, capsys):
+        assert main(["run", "fig13", "--duration", "30"]) == 0
+        assert "Jain index" in capsys.readouterr().out

@@ -1,0 +1,158 @@
+"""Unit tests for the Delay Estimator (eq. 2 and eq. 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DelayEstimator
+
+
+class TestSampling:
+    def test_rejects_nonpositive_delay(self):
+        est = DelayEstimator()
+        with pytest.raises(ValueError):
+            est.add_sample(0.0)
+        with pytest.raises(ValueError):
+            est.add_sample(-1.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            DelayEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            DelayEstimator(alpha=1.5)
+
+    def test_first_epoch_sets_dmax_directly(self):
+        est = DelayEstimator(alpha=0.7)
+        est.add_sample(0.050)
+        est.add_sample(0.080)
+        est.end_epoch()
+        assert est.d_max == pytest.approx(0.080)
+
+    def test_ewma_smoothing_follows_eq2(self):
+        est = DelayEstimator(alpha=0.7)
+        est.add_sample(0.100)
+        est.end_epoch()                       # D_max = 0.100
+        est.add_sample(0.200)
+        est.end_epoch()
+        # eq. 2: 0.7·0.100 + 0.3·0.200 = 0.130
+        assert est.d_max == pytest.approx(0.130)
+
+    def test_delta_d_is_change_in_dmax(self):
+        est = DelayEstimator(alpha=0.5)
+        est.add_sample(0.100)
+        est.end_epoch()
+        est.add_sample(0.300)
+        delta = est.end_epoch()               # new D_max = 0.200
+        assert delta == pytest.approx(0.100)
+
+    def test_empty_epoch_carries_dmax_with_zero_delta(self):
+        est = DelayEstimator()
+        est.add_sample(0.100)
+        est.end_epoch()
+        delta = est.end_epoch()               # no samples
+        assert delta == 0.0
+        assert est.d_max == pytest.approx(0.100)
+
+    def test_epoch_uses_maximum_not_mean(self):
+        est = DelayEstimator(alpha=0.5)
+        for delay in (0.010, 0.090, 0.020):
+            est.add_sample(delay)
+        est.end_epoch()
+        assert est.d_max == pytest.approx(0.090)
+
+    def test_reset_epoch_drops_pending(self):
+        est = DelayEstimator()
+        est.add_sample(0.5)
+        est.reset_epoch()
+        assert est.pending_samples == 0
+
+
+class TestDmin:
+    def test_tracks_minimum(self):
+        est = DelayEstimator()
+        for delay in (0.080, 0.030, 0.120):
+            est.add_sample(delay, now=0.0)
+        assert est.d_min == pytest.approx(0.030)
+
+    def test_windowed_min_expires_old_samples(self):
+        est = DelayEstimator(min_window=10.0)
+        est.add_sample(0.020, now=0.0)
+        est.add_sample(0.100, now=20.0)       # 0.020 bucket far outside window
+        assert est.d_min == pytest.approx(0.100)
+        assert est.lifetime_min == pytest.approx(0.020)
+
+    def test_windowed_min_keeps_recent_samples(self):
+        est = DelayEstimator(min_window=10.0)
+        est.add_sample(0.020, now=0.0)
+        est.add_sample(0.100, now=5.0)
+        assert est.d_min == pytest.approx(0.020)
+
+    def test_lifetime_mode_never_expires(self):
+        est = DelayEstimator(min_window=None)
+        est.add_sample(0.020, now=0.0)
+        est.add_sample(0.100, now=1e6)
+        assert est.d_min == pytest.approx(0.020)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            DelayEstimator(min_window=0.0)
+
+    def test_max_min_ratio(self):
+        est = DelayEstimator(alpha=1.0)
+        est.add_sample(0.050, now=0.0)
+        est.add_sample(0.150, now=0.0)
+        est.end_epoch()
+        assert est.max_min_ratio() == pytest.approx(3.0)
+
+    def test_ratio_defaults_to_one_without_estimates(self):
+        assert DelayEstimator().max_min_ratio() == 1.0
+
+
+class TestSrtt:
+    def test_first_sample_initialises(self):
+        est = DelayEstimator()
+        est.add_sample(0.2)
+        assert est.rtt() == pytest.approx(0.2)
+
+    def test_ewma_moves_toward_samples(self):
+        est = DelayEstimator()
+        est.add_sample(0.1)
+        for _ in range(100):
+            est.add_sample(0.3)
+        assert 0.25 < est.rtt() < 0.3
+
+    def test_fallback_before_samples(self):
+        assert DelayEstimator().rtt(fallback=0.123) == 0.123
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.001, 10.0), min_size=1, max_size=50))
+    def test_property_dmax_bounded_by_sample_range(self, delays):
+        """After any sample sequence, D_max stays within [min, max]."""
+        est = DelayEstimator(alpha=0.6)
+        for i, delay in enumerate(delays):
+            est.add_sample(delay, now=float(i) * 0.001)
+            if i % 3 == 2:
+                est.end_epoch()
+        est.end_epoch()
+        assert min(delays) - 1e-12 <= est.d_max <= max(delays) + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.001, 10.0), min_size=1, max_size=50))
+    def test_property_dmin_is_window_minimum(self, delays):
+        est = DelayEstimator(min_window=1000.0)
+        for delay in delays:
+            est.add_sample(delay, now=0.5)
+        assert est.d_min == pytest.approx(min(delays))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.01, 0.99))
+    def test_property_alpha_one_freezes_dmax(self, _ignored):
+        """alpha = 1 keeps D_max at its first value (eq. 2 edge case)."""
+        est = DelayEstimator(alpha=1.0)
+        est.add_sample(0.1)
+        est.end_epoch()
+        est.add_sample(5.0)
+        est.end_epoch()
+        assert est.d_max == pytest.approx(0.1)

@@ -1,0 +1,163 @@
+"""Unit tests for the Delay Profiler (Fig 5 / Fig 7 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DelayProfiler
+
+
+def seeded_profile(points=((0, 0.02), (10, 0.03), (50, 0.08), (100, 0.2))):
+    prof = DelayProfiler()
+    for window, delay in points:
+        prof.add_sample(window, delay)
+    assert prof.interpolate()
+    return prof
+
+
+class TestPointMaintenance:
+    def test_new_point_stored_directly(self):
+        prof = DelayProfiler(ewma=0.5)
+        prof.add_sample(10, 0.1)
+        assert dict(prof.knots())[10] == pytest.approx(0.1)
+
+    def test_ewma_update_of_existing_point(self):
+        prof = DelayProfiler(ewma=0.5)
+        prof.add_sample(10, 0.1)
+        prof.add_sample(10, 0.2)
+        assert dict(prof.knots())[10] == pytest.approx(0.15)
+
+    def test_window_rounded_to_int_key(self):
+        prof = DelayProfiler()
+        prof.add_sample(10.4, 0.1)
+        prof.add_sample(9.6, 0.3)
+        knots = dict(prof.knots())
+        assert list(knots) == [10]
+
+    def test_negative_window_clamped_to_zero(self):
+        prof = DelayProfiler()
+        prof.add_sample(-5.0, 0.1)
+        assert list(dict(prof.knots())) == [0]
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ValueError):
+            DelayProfiler().add_sample(1, 0.0)
+
+    def test_eviction_keeps_most_recent(self):
+        prof = DelayProfiler(max_points=4)
+        for w in range(6):
+            prof.add_sample(w, 0.1)
+        assert len(prof) == 4
+        assert 0 not in dict(prof.knots())   # oldest evicted
+        assert 5 in dict(prof.knots())
+
+    def test_touching_a_point_protects_it_from_eviction(self):
+        prof = DelayProfiler(max_points=4)
+        for w in range(4):
+            prof.add_sample(w, 0.1)
+        prof.add_sample(0, 0.2)              # refresh oldest
+        prof.add_sample(9, 0.1)              # forces eviction
+        assert 0 in dict(prof.knots())
+        assert 1 not in dict(prof.knots())
+
+    def test_freeze_drops_samples(self):
+        prof = DelayProfiler()
+        prof.freeze_updates()
+        prof.add_sample(1, 0.1)
+        assert len(prof) == 0
+        prof.unfreeze_updates()
+        prof.add_sample(1, 0.1)
+        assert len(prof) == 1
+
+
+class TestInterpolation:
+    def test_needs_two_points(self):
+        prof = DelayProfiler()
+        prof.add_sample(5, 0.1)
+        assert not prof.interpolate()
+        prof.add_sample(10, 0.2)
+        assert prof.interpolate()
+        assert prof.ready
+
+    def test_dmin_anchor_adds_origin_point(self):
+        prof = DelayProfiler()
+        prof.add_sample(50, 0.2)
+        # a single recorded point + the (0, d_min) anchor is enough
+        assert prof.interpolate(d_min=0.02)
+        assert prof.delay_for_window(0.0) == pytest.approx(0.02, rel=0.01)
+
+    def test_queries_before_interpolation_raise(self):
+        prof = DelayProfiler()
+        with pytest.raises(RuntimeError):
+            prof.window_for_delay(0.1)
+        with pytest.raises(RuntimeError):
+            prof.delay_for_window(1.0)
+
+    def test_interpolation_counter(self):
+        prof = seeded_profile()
+        count = prof.interpolations
+        prof.interpolate()
+        assert prof.interpolations == count + 1
+
+    def test_curve_samples_shape(self):
+        prof = seeded_profile()
+        xs, ys = prof.curve_samples(n=64)
+        assert xs.shape == (64,) and ys.shape == (64,)
+        assert xs[0] == 0.0 and xs[-1] == 100.0
+
+
+class TestLookup:
+    def test_forward_query_matches_knots(self):
+        prof = seeded_profile()
+        assert prof.delay_for_window(50) == pytest.approx(0.08, rel=0.01)
+
+    def test_inverse_query_is_fig5_horizontal_line(self):
+        prof = seeded_profile()
+        w = prof.window_for_delay(0.08)
+        assert w == pytest.approx(50.0, abs=1.0)
+
+    def test_higher_target_gives_larger_window(self):
+        prof = seeded_profile()
+        assert (prof.window_for_delay(0.15)
+                > prof.window_for_delay(0.05)
+                > prof.window_for_delay(0.025))
+
+    def test_target_below_floor_returns_zero_window(self):
+        prof = seeded_profile()
+        assert prof.window_for_delay(0.001) == pytest.approx(0.0, abs=0.5)
+
+    def test_target_above_profile_extrapolates(self):
+        prof = seeded_profile()
+        w = prof.window_for_delay(0.5)
+        assert w > 100.0
+
+    def test_snapshot_is_a_copy(self):
+        prof = seeded_profile()
+        snap = prof.snapshot()
+        snap[999] = 1.0
+        assert 999 not in dict(prof.knots())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.021, 0.19))
+    def test_property_roundtrip_window_delay(self, target):
+        """f(f^{-1}(d)) <= d for monotone profiles (never overshoot)."""
+        prof = seeded_profile()
+        w = prof.window_for_delay(target)
+        if w > 0:
+            assert prof.delay_for_window(w) <= target * 1.05
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 500),
+                              st.floats(0.01, 1.0)),
+                    min_size=2, max_size=40,
+                    unique_by=lambda p: p[0]))
+    def test_property_interpolation_never_crashes(self, points):
+        prof = DelayProfiler()
+        for window, delay in points:
+            prof.add_sample(window, delay)
+        if prof.interpolate():
+            lo = min(w for w, _ in points)
+            hi = max(w for w, _ in points)
+            for w in np.linspace(lo, hi, 17):
+                assert np.isfinite(prof.delay_for_window(float(w)))

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim import PeriodicTimer, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_scheduling_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, seen.append, "nested"))
+        sim.run()
+        assert seen == ["nested"]
+        assert sim.now == 2.0
+
+
+class TestRunControl:
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(2.0, seen.append, 2)
+        sim.run(until=2.0)
+        assert seen == [1, 2]
+
+    def test_run_until_excludes_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, seen.append, 3)
+        sim.run(until=2.0)
+        assert seen == []
+        assert sim.now == 2.0
+        sim.run()
+        assert seen == [3]
+
+    def test_now_advances_to_until_when_heap_drains(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, seen.append, 2)
+        sim.run()
+        assert seen == [(1, None)] or seen[0] is not None
+        assert len(seen) == 1
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(i + 1.0, seen.append, i)
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_step_executes_single_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "x")
+        assert sim.step() is True
+        assert seen == ["x"]
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(i + 1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert not event.active
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending() == 1
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 0.5, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=2.0)
+        assert ticks == [0.5, 1.0, 1.5, 2.0]
+
+    def test_fire_now_starts_immediately(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start(fire_now=True)
+        sim.run(until=1.5)
+        assert ticks == [0.0, 1.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 0.5, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.schedule(1.2, timer.stop)
+        sim.run(until=3.0)
+        assert ticks == [0.5, 1.0]
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 0.5, lambda: (ticks.append(sim.now),
+                                                 timer.stop()))
+        timer.start()
+        sim.run(until=5.0)
+        assert len(ticks) == 1
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None)

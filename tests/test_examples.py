@@ -1,0 +1,24 @@
+"""Every example script must run end-to-end without errors."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run([sys.executable, str(script)],
+                            capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_at_least_three_domain_examples():
+    assert len(EXAMPLES) >= 4
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names

@@ -1,0 +1,154 @@
+"""Unit tests for experiment helper logic (no simulation required)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.macro import MacroPoint, check_fig8_shape, check_fig9_shape
+from repro.experiments.micro import rapid_change_schedule
+from repro.experiments.short_flows import verus_competitive_ratio
+from repro.experiments.tracedriven import (
+    ScatterPoint,
+    fig15_delay_ratio,
+    fig15_gain,
+    summarize_fig10,
+)
+from repro.experiments.uplink import observations_carry_over
+
+
+def point(protocol, technology="3g", tput=1.0, delay=100.0):
+    return MacroPoint(protocol=protocol, technology=technology,
+                      mean_throughput_mbps=tput, mean_delay_ms=delay,
+                      runs=1)
+
+
+class TestFig8Checks:
+    def test_paper_shape_passes(self):
+        points = [
+            point("cubic", tput=1.6, delay=900.0),
+            point("verus_r6", tput=1.6, delay=70.0),
+            point("sprout", tput=1.4, delay=50.0),
+        ]
+        checks = check_fig8_shape(points)
+        assert all(checks.values())
+
+    def test_detects_delay_violation(self):
+        points = [
+            point("cubic", tput=1.6, delay=100.0),
+            point("verus_r6", tput=1.6, delay=90.0),
+        ]
+        checks = check_fig8_shape(points)
+        assert not checks["3g:verus_delay_much_lower_than_cubic"]
+
+    def test_detects_throughput_collapse(self):
+        points = [
+            point("cubic", tput=4.0, delay=900.0),
+            point("verus_r6", tput=1.0, delay=70.0),
+        ]
+        checks = check_fig8_shape(points)
+        assert not checks["3g:verus_throughput_comparable"]
+
+
+class TestFig9Checks:
+    def test_monotone_r_passes(self):
+        points = [
+            point("verus_r2", tput=1.0, delay=30.0),
+            point("verus_r4", tput=1.3, delay=60.0),
+            point("verus_r6", tput=1.5, delay=90.0),
+        ]
+        assert all(check_fig9_shape(points).values())
+
+    def test_inverted_tradeoff_fails(self):
+        points = [
+            point("verus_r2", tput=2.0, delay=30.0),
+            point("verus_r6", tput=1.0, delay=90.0),
+        ]
+        checks = check_fig9_shape(points)
+        assert not checks["3g:throughput_increases_with_r"]
+
+
+class TestFig10Summary:
+    def test_groups_and_averages(self):
+        points = [
+            ScatterPoint("s", "verus_r2", 0, 1.0, 10.0),
+            ScatterPoint("s", "verus_r2", 1, 3.0, 30.0),
+            ScatterPoint("s", "cubic", 0, 2.0, 100.0),
+        ]
+        rows = summarize_fig10(points)
+        verus = next(r for r in rows if r["protocol"] == "verus_r2")
+        assert verus["mean_throughput_mbps"] == pytest.approx(2.0)
+        assert verus["mean_delay_ms"] == pytest.approx(20.0)
+        assert verus["throughput_std"] == pytest.approx(1.0)
+
+
+class TestFig15Ratios:
+    ROWS = [
+        {"scenario": "a", "profile": "updating",
+         "mean_throughput_mbps": 1.0, "mean_delay_ms": 30.0},
+        {"scenario": "a", "profile": "static",
+         "mean_throughput_mbps": 1.5, "mean_delay_ms": 60.0},
+        {"scenario": "b", "profile": "updating",
+         "mean_throughput_mbps": 2.0, "mean_delay_ms": 25.0},
+        {"scenario": "b", "profile": "static",
+         "mean_throughput_mbps": 2.0, "mean_delay_ms": 50.0},
+    ]
+
+    def test_delay_ratio_geometric_mean(self):
+        assert fig15_delay_ratio(self.ROWS) == pytest.approx(0.5)
+
+    def test_throughput_ratio(self):
+        expected = np.sqrt((1.0 / 1.5) * 1.0)
+        assert fig15_gain(self.ROWS) == pytest.approx(expected)
+
+    def test_empty_rows_nan(self):
+        assert np.isnan(fig15_gain([]))
+
+
+class TestShortFlowRatio:
+    def test_geometric_mean(self):
+        rows = [
+            {"size_kb": 50, "verus_fct_s": 2.0, "cubic_fct_s": 1.0},
+            {"size_kb": 500, "verus_fct_s": 1.0, "cubic_fct_s": 2.0},
+        ]
+        assert verus_competitive_ratio(rows) == pytest.approx(1.0)
+
+    def test_missing_values_skipped(self):
+        rows = [{"size_kb": 50, "verus_fct_s": float("nan"),
+                 "cubic_fct_s": 1.0}]
+        assert np.isnan(verus_competitive_ratio(rows))
+
+
+class TestUplinkChecks:
+    def test_carry_over_logic(self):
+        rows = [
+            {"protocol": "verus", "mean_throughput_mbps": 0.6,
+             "mean_delay_ms": 40.0},
+            {"protocol": "cubic", "mean_throughput_mbps": 1.0,
+             "mean_delay_ms": 300.0},
+        ]
+        checks = observations_carry_over(rows)
+        assert all(checks.values())
+
+    def test_detects_failure(self):
+        rows = [
+            {"protocol": "verus", "mean_throughput_mbps": 0.1,
+             "mean_delay_ms": 290.0},
+            {"protocol": "cubic", "mean_throughput_mbps": 1.0,
+             "mean_delay_ms": 300.0},
+        ]
+        checks = observations_carry_over(rows)
+        assert not any(checks.values())
+
+
+class TestRapidSchedule:
+    def test_ranges_respected(self):
+        schedule = rapid_change_schedule(60.0, 2e6, 20e6, seed=1)
+        for phase in schedule.phases:
+            assert 2e6 <= phase.rate_bps <= 20e6
+            assert 0.005 <= phase.delay <= 0.050
+            assert 0.0 <= phase.loss_rate <= 0.01
+        assert schedule.total_duration() == pytest.approx(60.0)
+
+    def test_five_second_periods(self):
+        schedule = rapid_change_schedule(60.0, 2e6, 20e6, seed=1)
+        assert all(p.duration == pytest.approx(5.0)
+                   for p in schedule.phases)

@@ -1,0 +1,33 @@
+"""Tests for the one-shot reproduction report generator."""
+
+import pytest
+
+from repro.experiments.full_report import ITEMS, generate_report
+
+
+class TestGenerateReport:
+    def test_unknown_item_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(items=["fig99"])
+
+    def test_single_item_report_structure(self):
+        text = generate_report(duration=20.0, items=["fig4"])
+        assert text.startswith("# Verus reproduction report")
+        assert "| fig4 |" in text
+        assert "## fig4" in text
+        assert "Shape checks passed" in text
+
+    def test_report_marks_pass_fail(self):
+        text = generate_report(duration=30.0, items=["fig4"])
+        assert "✓" in text or "✗" in text
+
+    def test_registry_nonempty_and_callable(self):
+        assert len(ITEMS) >= 8
+        for fn in ITEMS.values():
+            assert callable(fn)
+
+    def test_two_item_report_counts(self):
+        text = generate_report(duration=20.0, items=["fig4", "fig3"])
+        header = [l for l in text.splitlines()
+                  if l.startswith("Shape checks passed")][0]
+        assert "/2" in header

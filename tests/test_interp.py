@@ -1,0 +1,213 @@
+"""Unit and property tests for the interpolation library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import (
+    InverseLookup,
+    LinearInterpolator,
+    NaturalCubicSpline,
+    PchipInterpolator,
+    find_crossing,
+    monotone_envelope,
+)
+
+
+def knot_sets(min_size=3, max_size=12):
+    """Strategy producing strictly increasing x with finite y."""
+    return st.lists(
+        st.tuples(st.floats(0, 1000, allow_nan=False),
+                  st.floats(-100, 100, allow_nan=False)),
+        min_size=min_size, max_size=max_size,
+        unique_by=lambda p: round(p[0], 3),
+    ).map(lambda pts: sorted(pts)).filter(
+        lambda pts: all(b[0] - a[0] > 1e-3 for a, b in zip(pts, pts[1:])))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cls", [LinearInterpolator, NaturalCubicSpline,
+                                     PchipInterpolator])
+    def test_rejects_single_knot(self, cls):
+        with pytest.raises(ValueError):
+            cls([1.0], [2.0])
+
+    @pytest.mark.parametrize("cls", [LinearInterpolator, NaturalCubicSpline,
+                                     PchipInterpolator])
+    def test_rejects_unsorted_x(self, cls):
+        with pytest.raises(ValueError):
+            cls([0.0, 2.0, 1.0], [1.0, 2.0, 3.0])
+
+    @pytest.mark.parametrize("cls", [LinearInterpolator, NaturalCubicSpline,
+                                     PchipInterpolator])
+    def test_rejects_duplicate_x(self, cls):
+        with pytest.raises(ValueError):
+            cls([0.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearInterpolator([0.0, 1.0], [1.0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            PchipInterpolator([0.0, 1.0], [1.0, float("inf")])
+
+
+class TestInterpolationInvariants:
+    @pytest.mark.parametrize("cls", [LinearInterpolator, NaturalCubicSpline,
+                                     PchipInterpolator])
+    def test_passes_through_knots(self, cls):
+        x = np.array([0.0, 1.0, 3.0, 7.0, 10.0])
+        y = np.array([2.0, 5.0, 3.0, 8.0, 8.5])
+        f = cls(x, y)
+        assert np.allclose(f(x), y, atol=1e-9)
+
+    @pytest.mark.parametrize("cls", [LinearInterpolator, NaturalCubicSpline,
+                                     PchipInterpolator])
+    def test_scalar_and_array_agree(self, cls):
+        f = cls([0.0, 1.0, 2.0], [0.0, 1.0, 4.0])
+        assert f(0.5) == pytest.approx(float(f(np.array([0.5]))[0]))
+
+    def test_linear_reproduces_line(self):
+        f = LinearInterpolator([0.0, 5.0, 10.0], [1.0, 11.0, 21.0])
+        xs = np.linspace(-5, 15, 50)
+        assert np.allclose(f(xs), 2 * xs + 1)
+
+    def test_cubic_reproduces_line_exactly(self):
+        """A natural cubic spline through collinear points is that line."""
+        x = np.array([0.0, 1.0, 2.0, 4.0, 8.0])
+        f = NaturalCubicSpline(x, 3 * x + 2)
+        xs = np.linspace(0, 8, 33)
+        assert np.allclose(f(xs), 3 * xs + 2, atol=1e-9)
+
+    def test_pchip_reproduces_line_exactly(self):
+        x = np.array([0.0, 1.0, 2.0, 4.0, 8.0])
+        f = PchipInterpolator(x, -2 * x + 7)
+        xs = np.linspace(0, 8, 33)
+        assert np.allclose(f(xs), -2 * xs + 7, atol=1e-9)
+
+    def test_natural_spline_boundary_second_derivatives_zero(self):
+        f = NaturalCubicSpline([0.0, 1.0, 2.0, 3.0], [0.0, 2.0, 1.0, 3.0])
+        m = f.second_derivatives()
+        assert m[0] == 0.0 and m[-1] == 0.0
+
+    def test_linear_extrapolation_beyond_domain(self):
+        f = PchipInterpolator([0.0, 10.0], [0.0, 100.0])
+        # slope 10 everywhere for two knots
+        assert f(20.0) == pytest.approx(200.0)
+        assert f(-5.0) == pytest.approx(-50.0)
+
+
+class TestPchipMonotonicity:
+    def test_monotone_data_gives_monotone_curve(self):
+        x = np.array([0.0, 1.0, 2.0, 5.0, 9.0, 10.0])
+        y = np.array([0.0, 0.5, 4.0, 4.1, 9.0, 20.0])
+        f = PchipInterpolator(x, y)
+        xs = np.linspace(0, 10, 500)
+        ys = f(xs)
+        assert np.all(np.diff(ys) >= -1e-12)
+
+    def test_no_overshoot_between_knots(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 10.0, 10.5])
+        f = PchipInterpolator(x, y)
+        xs = np.linspace(0, 2, 200)
+        ys = f(xs)
+        assert ys.max() <= 10.5 + 1e-9
+        assert ys.min() >= -1e-9
+
+    def test_flat_segment_stays_flat(self):
+        f = PchipInterpolator([0.0, 1.0, 2.0, 3.0], [1.0, 5.0, 5.0, 9.0])
+        xs = np.linspace(1.0, 2.0, 50)
+        assert np.allclose(f(xs), 5.0, atol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(knot_sets())
+    def test_property_stays_within_data_range(self, pts):
+        x = [p[0] for p in pts]
+        y = [p[1] for p in pts]
+        f = PchipInterpolator(x, y)
+        xs = np.linspace(x[0], x[-1], 100)
+        ys = f(xs)
+        assert ys.max() <= max(y) + 1e-6
+        assert ys.min() >= min(y) - 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(knot_sets())
+    def test_property_monotone_input_monotone_output(self, pts):
+        x = [p[0] for p in pts]
+        y = sorted(p[1] for p in pts)  # force monotone data
+        f = PchipInterpolator(x, y)
+        xs = np.linspace(x[0], x[-1], 100)
+        assert np.all(np.diff(f(xs)) >= -1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(knot_sets())
+    def test_property_all_interpolants_hit_knots(self, pts):
+        x = [p[0] for p in pts]
+        y = [p[1] for p in pts]
+        for cls in (LinearInterpolator, NaturalCubicSpline, PchipInterpolator):
+            f = cls(x, y)
+            assert np.allclose(f(np.asarray(x)), y, atol=1e-6)
+
+
+class TestInverseLookup:
+    def test_exact_inverse_on_monotone_curve(self):
+        f = PchipInterpolator([0.0, 50.0, 100.0], [10.0, 20.0, 100.0])
+        inv = InverseLookup(f, grid_points=1024)
+        assert inv.largest_below(20.0) == pytest.approx(50.0, abs=0.5)
+
+    def test_target_below_curve_returns_domain_min(self):
+        f = PchipInterpolator([5.0, 100.0], [10.0, 50.0])
+        inv = InverseLookup(f)
+        assert inv.largest_below(1.0) == 5.0
+
+    def test_target_above_curve_extrapolates(self):
+        f = PchipInterpolator([0.0, 100.0], [0.0, 100.0])
+        inv = InverseLookup(f, max_extrapolation=1.0)
+        assert inv.largest_below(150.0) == pytest.approx(150.0, rel=0.05)
+
+    def test_extrapolation_capped(self):
+        f = PchipInterpolator([0.0, 100.0], [0.0, 100.0])
+        inv = InverseLookup(f, max_extrapolation=0.1)
+        assert inv.largest_below(1e9) == pytest.approx(110.0)
+
+    def test_nonmonotone_curve_takes_largest_admissible(self):
+        # dip in the middle: 0->10 rises, 10->20 dips, 20->30 rises high
+        f = LinearInterpolator([0.0, 10.0, 20.0, 30.0],
+                               [0.0, 50.0, 10.0, 100.0])
+        inv = InverseLookup(f, grid_points=2048)
+        # target 30: last x with f(x) <= 30 is on the final rising segment
+        x = inv.largest_below(30.0)
+        assert 20.0 < x < 30.0
+        assert f(x) == pytest.approx(30.0, abs=1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(5, 500))
+    def test_property_inverse_consistent(self, target):
+        f = PchipInterpolator([0.0, 10.0, 50.0, 100.0],
+                              [5.0, 15.0, 80.0, 300.0])
+        inv = InverseLookup(f, grid_points=2048)
+        x = inv.largest_below(target)
+        # f(x) must not exceed the target (within grid tolerance)
+        assert float(f(x)) <= target * 1.02 + 0.5
+
+
+class TestHelpers:
+    def test_monotone_envelope(self):
+        out = monotone_envelope(np.array([1.0, 3.0, 2.0, 5.0, 4.0]))
+        assert list(out) == [1.0, 3.0, 3.0, 5.0, 5.0]
+
+    def test_find_crossing_interpolates(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 10.0, 20.0])
+        assert find_crossing(x, y, 5.0) == pytest.approx(0.5)
+
+    def test_find_crossing_none_when_below(self):
+        assert find_crossing(np.array([0.0, 1.0]),
+                             np.array([0.0, 1.0]), 5.0) is None
+
+    def test_find_crossing_at_first_sample(self):
+        assert find_crossing(np.array([2.0, 3.0]),
+                             np.array([9.0, 10.0]), 5.0) == 2.0

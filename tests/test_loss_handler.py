@@ -1,0 +1,101 @@
+"""Unit tests for the Loss Handler (eq. 6 + recovery phase)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LossHandler
+
+
+class TestEq6:
+    def test_multiplicative_decrease(self):
+        handler = LossHandler(multiplicative_decrease=0.5)
+        assert handler.on_loss(100.0) == pytest.approx(50.0)
+
+    def test_uses_window_of_lost_packet(self):
+        """eq. 6 multiplies W_loss, not the current window."""
+        handler = LossHandler(multiplicative_decrease=0.5)
+        assert handler.on_loss(w_loss=40.0) == pytest.approx(20.0)
+
+    def test_floored_at_min_window(self):
+        handler = LossHandler(multiplicative_decrease=0.5, min_window=2.0)
+        assert handler.on_loss(1.0) == 2.0
+
+    def test_repeated_losses_in_one_episode_do_not_compound(self):
+        handler = LossHandler(multiplicative_decrease=0.5)
+        first = handler.on_loss(100.0)
+        second = handler.on_loss(100.0)
+        assert first == second == pytest.approx(50.0)
+        assert handler.losses == 1
+
+    def test_invalid_decrease_rejected(self):
+        with pytest.raises(ValueError):
+            LossHandler(multiplicative_decrease=1.0)
+        with pytest.raises(ValueError):
+            LossHandler(multiplicative_decrease=0.0)
+
+
+class TestRecoveryPhase:
+    def test_enters_recovery_on_loss(self):
+        handler = LossHandler()
+        handler.on_loss(10.0)
+        assert handler.in_recovery
+        assert handler.window == pytest.approx(5.0)
+
+    def test_additive_growth_during_recovery(self):
+        handler = LossHandler()
+        handler.on_loss(20.0)                 # window 10
+        w = handler.on_ack_in_recovery(window_at_send=1e9)
+        assert w == pytest.approx(10.1)       # + 1/10
+
+    def test_exit_when_ack_from_post_decrease_packet(self):
+        handler = LossHandler()
+        handler.on_loss(20.0)                 # window 10
+        handler.on_ack_in_recovery(window_at_send=100.0)   # still old
+        assert handler.in_recovery
+        handler.on_ack_in_recovery(window_at_send=5.0)     # sent after cut
+        assert not handler.in_recovery
+        assert handler.recoveries_completed == 1
+
+    def test_window_none_outside_recovery(self):
+        handler = LossHandler()
+        assert handler.window is None
+        handler.on_loss(10.0)
+        handler.on_ack_in_recovery(1.0)
+        assert handler.window is None
+
+    def test_ack_outside_recovery_raises(self):
+        with pytest.raises(RuntimeError):
+            LossHandler().on_ack_in_recovery(1.0)
+
+    def test_abort_leaves_recovery(self):
+        handler = LossHandler()
+        handler.on_loss(10.0)
+        handler.abort()
+        assert not handler.in_recovery
+
+    def test_new_episode_after_recovery_compounds(self):
+        handler = LossHandler()
+        handler.on_loss(100.0)                        # 50
+        handler.on_ack_in_recovery(window_at_send=1.0)  # exits
+        w = handler.on_loss(50.0)
+        assert w == pytest.approx(25.0)
+        assert handler.losses == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(1.0, 10_000.0), st.floats(0.1, 0.9))
+    def test_property_post_loss_window_bounded(self, w_loss, m):
+        handler = LossHandler(multiplicative_decrease=m, min_window=1.0)
+        w = handler.on_loss(w_loss)
+        assert 1.0 <= w <= max(1.0, w_loss)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 200))
+    def test_property_recovery_growth_is_monotone(self, n_acks):
+        handler = LossHandler()
+        handler.on_loss(50.0)
+        prev = handler.window
+        for _ in range(n_acks):
+            w = handler.on_ack_in_recovery(window_at_send=1e9)
+            assert w >= prev
+            prev = w

@@ -1,0 +1,169 @@
+"""Tests for flow statistics and fairness metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    aggregate_stats,
+    delay_cdf,
+    flow_stats,
+    jain_index,
+    windowed_delay,
+    windowed_jain_index,
+    windowed_throughput,
+    worst_case_index,
+)
+
+
+def deliveries(times, delay=0.05, size=1400):
+    return [(t, i, delay, size) for i, t in enumerate(times)]
+
+
+class TestFlowStats:
+    def test_throughput_from_bytes_and_duration(self):
+        rows = deliveries(np.linspace(0.0, 9.999, 1000))
+        stats = flow_stats(rows, start=0.0, end=10.0)
+        assert stats.throughput_bps == pytest.approx(1000 * 1400 * 8 / 10.0)
+
+    def test_warmup_excluded(self):
+        rows = deliveries([1.0, 2.0, 11.0])
+        stats = flow_stats(rows, start=10.0, end=12.0)
+        assert stats.packets_received == 1
+
+    def test_delay_percentiles(self):
+        rows = [(float(i), i, d, 1400)
+                for i, d in enumerate(np.linspace(0.01, 0.1, 100))]
+        stats = flow_stats(rows, end=100.0)
+        assert stats.median_delay == pytest.approx(0.055, abs=0.002)
+        assert stats.p95_delay == pytest.approx(0.0955, abs=0.002)
+        assert stats.max_delay == pytest.approx(0.1)
+
+    def test_empty_window_gives_nan_delay(self):
+        stats = flow_stats([], start=0.0, end=10.0)
+        assert stats.throughput_bps == 0.0
+        assert np.isnan(stats.mean_delay)
+
+    def test_as_dict_round_numbers(self):
+        rows = deliveries([0.5], delay=0.0501)
+        d = flow_stats(rows, end=1.0, label="x").as_dict()
+        assert d["label"] == "x"
+        assert d["mean_delay_ms"] == 50.1
+
+
+class TestWindowedSeries:
+    def test_throughput_binning(self):
+        rows = deliveries([0.1, 0.2, 1.5])
+        t, series = windowed_throughput(rows, window=1.0, end=2.0)
+        assert len(series) == 2
+        assert series[0] == pytest.approx(2 * 1400 * 8 / 1.0)
+        assert series[1] == pytest.approx(1 * 1400 * 8 / 1.0)
+
+    def test_empty_deliveries(self):
+        t, series = windowed_throughput([], window=1.0)
+        assert t.size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            windowed_throughput(deliveries([1.0]), window=0.0)
+
+    def test_delay_aggregates(self):
+        rows = [(0.1, 0, 0.02, 1400), (0.2, 1, 0.08, 1400),
+                (1.5, 2, 0.05, 1400)]
+        _, mean = windowed_delay(rows, 1.0, end=2.0, agg="mean")
+        _, mx = windowed_delay(rows, 1.0, end=2.0, agg="max")
+        assert mean[0] == pytest.approx(0.05)
+        assert mx[0] == pytest.approx(0.08)
+        assert mean[1] == pytest.approx(0.05)
+
+    def test_delay_empty_window_is_nan(self):
+        rows = [(0.1, 0, 0.02, 1400)]
+        _, series = windowed_delay(rows, 1.0, end=3.0)
+        assert np.isnan(series[1]) and np.isnan(series[2])
+
+    def test_delay_invalid_agg(self):
+        with pytest.raises(ValueError):
+            windowed_delay(deliveries([0.1]), 1.0, agg="median")
+
+    def test_cdf_monotone(self):
+        rows = deliveries([0.1, 0.2, 0.3], delay=0.05)
+        xs, fs = delay_cdf(rows)
+        assert fs[-1] == 1.0
+        assert np.all(np.diff(fs) >= 0)
+
+
+class TestJain:
+    def test_perfect_fairness(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_worst_case(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+        assert worst_case_index(4) == 0.25
+
+    def test_known_value(self):
+        # (1+2+3)²/(3·(1+4+9)) = 36/42
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([-1.0, 1.0])
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.floats(0.0, 1e9), min_size=1, max_size=30))
+    def test_property_bounds(self, xs):
+        """Jain's index always lies in [1/n, 1]."""
+        index = jain_index(xs)
+        assert 1.0 / len(xs) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.001, 1e6), min_size=2, max_size=10),
+           st.floats(0.1, 100.0))
+    def test_property_scale_invariant(self, xs, k):
+        assert jain_index(xs) == pytest.approx(
+            jain_index([x * k for x in xs]), rel=1e-6)
+
+
+class TestWindowedJain:
+    def test_equal_flows_fair(self):
+        flows = {0: deliveries(np.arange(0, 10, 0.1)),
+                 1: deliveries(np.arange(0, 10, 0.1))}
+        assert windowed_jain_index(flows, end=10.0) == pytest.approx(1.0)
+
+    def test_alternating_flows_unfair_per_window(self):
+        """Two flows alternating full-second bursts: per-window Jain is
+        0.5 even though long-run totals are equal — this is exactly why
+        the paper windows the metric."""
+        a = deliveries(np.arange(0.0, 1.0, 0.01))
+        b = deliveries(np.arange(1.0, 2.0, 0.01))
+        result = windowed_jain_index({0: a, 1: b}, window=1.0, end=2.0)
+        assert result == pytest.approx(0.5, abs=0.01)
+
+    def test_empty_windows_skipped(self):
+        flows = {0: deliveries([0.5]), 1: deliveries([0.4])}
+        # windows after t=1 are empty for both and must not dilute
+        result = windowed_jain_index(flows, window=1.0, end=10.0)
+        assert result == pytest.approx(1.0)
+
+    def test_requires_flows(self):
+        with pytest.raises(ValueError):
+            windowed_jain_index({})
+
+
+class TestAggregate:
+    def test_aggregates_mean_and_total(self):
+        rows_a = deliveries(np.arange(0, 10, 0.01))
+        rows_b = deliveries(np.arange(0, 10, 0.02))
+        stats = [flow_stats(rows_a, end=10.0), flow_stats(rows_b, end=10.0)]
+        agg = aggregate_stats(stats)
+        assert agg["flows"] == 2
+        assert agg["total_throughput_mbps"] == pytest.approx(
+            agg["mean_throughput_mbps"] * 2)
+
+    def test_empty(self):
+        assert aggregate_stats([]) == {"flows": 0}

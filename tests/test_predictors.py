@@ -1,0 +1,146 @@
+"""Tests for the §3 channel predictors."""
+
+import numpy as np
+import pytest
+
+from repro.cellular import (
+    EwmaPredictor,
+    HoltPredictor,
+    LastValuePredictor,
+    LinearPredictor,
+    MeanPredictor,
+    compare_predictors,
+    evaluate_predictor,
+)
+
+
+class TestLastValue:
+    def test_predicts_last_observation(self):
+        p = LastValuePredictor()
+        p.update(5.0)
+        p.update(7.0)
+        assert p.predict() == 7.0
+
+    def test_zero_before_any_data(self):
+        assert LastValuePredictor().predict() == 0.0
+
+    def test_reset(self):
+        p = LastValuePredictor()
+        p.update(5.0)
+        p.reset()
+        assert p.predict() == 0.0
+
+
+class TestLinear:
+    def test_extrapolates_trend(self):
+        p = LinearPredictor(window=5)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            p.update(v)
+        assert p.predict(1) == pytest.approx(6.0)
+        assert p.predict(3) == pytest.approx(8.0)
+
+    def test_window_limits_history(self):
+        p = LinearPredictor(window=3)
+        for v in (100.0, 1.0, 2.0, 3.0):   # old outlier leaves the window
+            p.update(v)
+        assert p.predict(1) == pytest.approx(4.0)
+
+    def test_single_sample_predicts_flat(self):
+        p = LinearPredictor()
+        p.update(9.0)
+        assert p.predict() == 9.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            LinearPredictor(window=1)
+
+
+class TestEwma:
+    def test_converges_toward_level(self):
+        p = EwmaPredictor(alpha=0.5)
+        for _ in range(20):
+            p.update(10.0)
+        assert p.predict() == pytest.approx(10.0)
+
+    def test_horizon_independent(self):
+        p = EwmaPredictor()
+        p.update(4.0)
+        assert p.predict(1) == p.predict(10)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=0.0)
+
+
+class TestHolt:
+    def test_captures_linear_trend(self):
+        p = HoltPredictor(alpha=0.8, beta=0.8)
+        for v in np.arange(0.0, 20.0):
+            p.update(v)
+        assert p.predict(1) == pytest.approx(20.0, abs=1.5)
+        assert p.predict(5) == pytest.approx(24.0, abs=2.5)
+
+    def test_flat_series_no_trend(self):
+        p = HoltPredictor()
+        for _ in range(30):
+            p.update(5.0)
+        assert p.predict(10) == pytest.approx(5.0)
+
+
+class TestMean:
+    def test_rolling_mean(self):
+        p = MeanPredictor(window=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            p.update(v)
+        assert p.predict() == pytest.approx(3.0)
+
+
+class TestEvaluation:
+    def test_perfect_prediction_zero_error(self):
+        series = [5.0] * 30
+        result = evaluate_predictor(LastValuePredictor(), series, horizon=1)
+        assert result["rmse"] == 0.0
+        assert result["mae"] == 0.0
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_predictor(LastValuePredictor(), [1.0, 2.0], horizon=1)
+
+    def test_compare_includes_naive_baseline(self):
+        rng = np.random.default_rng(0)
+        series = rng.random(100)
+        scores = compare_predictors(series)
+        assert scores[0].name == "naive"
+        assert scores[0].rmse_vs_naive == 1.0
+        assert {s.name for s in scores} >= {"naive", "linear", "ewma",
+                                            "holt", "mean"}
+
+    def test_linear_wins_on_linear_series(self):
+        series = np.arange(100, dtype=float)
+        scores = {s.name: s for s in compare_predictors(series)}
+        assert scores["linear"].rmse < scores["naive"].rmse
+
+    def test_no_predictor_dominates_on_iid_noise(self):
+        """§3's point in miniature: on unpredictable (white-noise) series
+        no predictor beats naive by a large margin — the signal itself is
+        the limit, not the predictor."""
+        rng = np.random.default_rng(42)
+        series = rng.exponential(1.0, size=400)
+        scores = {s.name: s for s in compare_predictors(series)}
+        for name in ("linear", "holt"):
+            assert scores[name].rmse > 0.5 * scores["naive"].rmse
+
+    def test_bursty_channel_series_poorly_predictable(self):
+        """End-to-end: windowed throughput of a synthetic 3G trace keeps
+        large relative RMSE for every predictor (Fig 4 discussion)."""
+        from repro.cellular import generate_scenario_trace
+        from repro.metrics import windowed_throughput
+        trace = generate_scenario_trace("city_stationary", duration=60.0,
+                                        technology="3g",
+                                        mean_rate_bps=10e6, seed=31)
+        deliveries = [(t, i, 0.0, 1400) for i, t in enumerate(trace)]
+        _, series = windowed_throughput(deliveries, 0.020, end=60.0)
+        scores = {s.name: s for s in compare_predictors(series)}
+        mean_rate = float(np.mean(series))
+        for score in scores.values():
+            assert score.rmse > 0.3 * mean_rate   # ≥30% relative error

@@ -1,0 +1,218 @@
+"""Tests for the Sprout baseline (belief, forecaster, endpoints)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import flow_stats
+from repro.netsim import DirectPath, DropTailQueue, Link, Simulator, TraceLink
+from repro.sprout import (
+    RateBelief,
+    SproutForecaster,
+    SproutReceiver,
+    SproutSender,
+    TICK_SECONDS,
+)
+
+
+class TestRateBelief:
+    def test_starts_uniform(self):
+        belief = RateBelief(bins=64)
+        assert np.allclose(belief.prob, 1.0 / 64)
+
+    def test_observation_concentrates_near_count(self):
+        belief = RateBelief()
+        for _ in range(50):
+            belief.evolve()
+            belief.observe(20)
+        assert belief.mean() == pytest.approx(20.0, rel=0.25)
+
+    def test_zero_observations_collapse_to_low_rate(self):
+        belief = RateBelief()
+        for _ in range(50):
+            belief.evolve()
+            belief.observe(0)
+        assert belief.mean() < 1.0
+
+    def test_censored_observation_only_raises_belief(self):
+        belief = RateBelief()
+        for _ in range(30):
+            belief.evolve()
+            belief.observe(10)
+        mean_before = belief.mean()
+        belief.observe(3, censored=True)   # "at least 3": no news downward
+        assert belief.mean() >= mean_before * 0.8
+
+    def test_censored_zero_is_noop(self):
+        belief = RateBelief()
+        prob_before = belief.prob.copy()
+        belief.observe(0, censored=True)
+        assert np.allclose(belief.prob, prob_before)
+
+    def test_evolution_widens_distribution(self):
+        belief = RateBelief()
+        for _ in range(20):
+            belief.evolve()
+            belief.observe(10)
+        q_lo_before = belief.quantile(0.05)
+        for _ in range(20):
+            belief.evolve()                # no observations
+        assert belief.quantile(0.05) <= q_lo_before
+
+    def test_quantiles_ordered(self):
+        belief = RateBelief()
+        belief.observe(15)
+        assert (belief.quantile(0.05) <= belief.quantile(0.5)
+                <= belief.quantile(0.95))
+
+    def test_probabilities_normalised(self):
+        belief = RateBelief()
+        for k in (5, 0, 50, 2):
+            belief.evolve()
+            belief.observe(k)
+            assert belief.prob.sum() == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RateBelief(min_rate=0.0)
+        with pytest.raises(ValueError):
+            RateBelief(bins=2)
+        with pytest.raises(ValueError):
+            RateBelief().observe(-1)
+        with pytest.raises(ValueError):
+            RateBelief().quantile(0.0)
+
+
+class TestForecaster:
+    def test_budget_grows_with_observed_rate(self):
+        slow = SproutForecaster(rate_cap_bps=None)
+        fast = SproutForecaster(rate_cap_bps=None)
+        for _ in range(40):
+            slow.on_tick(2)
+            fast.on_tick(40)
+        assert fast.cautious_budget() > slow.cautious_budget()
+
+    def test_rate_cap_limits_budget(self):
+        """The paper's §7: the Sprout implementation caps at 18 Mbps."""
+        capped = SproutForecaster(rate_cap_bps=18e6)
+        free = SproutForecaster(rate_cap_bps=None)
+        for _ in range(60):
+            capped.on_tick(200)   # 200 pkts / 20 ms = 112 Mbps offered
+            free.on_tick(200)
+        cap_packets = 18e6 * TICK_SECONDS / (8 * 1400) * 5  # 5-tick horizon
+        assert capped.cautious_budget() <= cap_packets * 1.01
+        assert free.cautious_budget() > capped.cautious_budget()
+
+    def test_budget_is_cautious_below_mean(self):
+        forecaster = SproutForecaster(rate_cap_bps=None)
+        for _ in range(60):
+            forecaster.on_tick(30)
+        horizon = forecaster.target_delay / forecaster.tick
+        mean_budget = forecaster.belief.mean() * horizon
+        assert forecaster.cautious_budget() < mean_budget
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SproutForecaster(tick=0.0)
+
+
+def run_sprout(rate_bps=10e6, rtt=0.05, duration=30.0):
+    sim = Simulator()
+    link = Link(sim, rate_bps=rate_bps, queue=DropTailQueue())
+    sender, receiver = SproutSender(0), SproutReceiver(0)
+    path = DirectPath(sim, link, sender, receiver, rtt=rtt)
+    path.run(duration)
+    return sender, receiver
+
+
+class TestEndToEnd:
+    def test_reasonable_utilization_on_fixed_link(self):
+        _, receiver = run_sprout()
+        stats = flow_stats(receiver.deliveries, start=10.0, end=30.0)
+        assert stats.throughput_bps > 0.7 * 10e6
+
+    def test_low_delay_signature(self):
+        """Sprout's defining property: delay near the propagation floor."""
+        _, receiver = run_sprout()
+        stats = flow_stats(receiver.deliveries, start=10.0, end=30.0)
+        assert stats.mean_delay < 0.06   # floor is 25 ms one-way
+
+    def test_lower_delay_than_verus(self):
+        from repro.core import VerusConfig, VerusReceiver, VerusSender
+        _, sprout_rcv = run_sprout()
+        sim = Simulator()
+        link = Link(sim, rate_bps=10e6, queue=DropTailQueue())
+        verus_snd = VerusSender(0, VerusConfig())
+        verus_rcv = VerusReceiver(0)
+        DirectPath(sim, link, verus_snd, verus_rcv, rtt=0.05).run(30.0)
+        sprout = flow_stats(sprout_rcv.deliveries, start=10.0, end=30.0)
+        verus = flow_stats(verus_rcv.deliveries, start=10.0, end=30.0)
+        assert sprout.mean_delay < verus.mean_delay
+
+    def test_cap_hurts_on_fast_link(self):
+        """Fig 11a's mechanism: on a 100 Mbps link the 18 Mbps cap binds."""
+        sim = Simulator()
+        link = Link(sim, rate_bps=100e6, queue=DropTailQueue())
+        sender = SproutSender(0)
+        receiver = SproutReceiver(0)
+        path = DirectPath(sim, link, sender, receiver, rtt=0.02)
+        path.run(30.0)
+        stats = flow_stats(receiver.deliveries, start=10.0, end=30.0)
+        assert stats.throughput_bps < 25e6
+
+    def test_adapts_to_rate_drop(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=10e6, queue=DropTailQueue())
+        sender, receiver = SproutSender(0), SproutReceiver(0)
+        path = DirectPath(sim, link, sender, receiver, rtt=0.05)
+        sim.schedule_at(15.0, lambda: setattr(link, "rate_bps", 1e6))
+        path.run(30.0)
+        tail = flow_stats(receiver.deliveries, start=20.0, end=30.0)
+        assert tail.throughput_bps < 1.5e6
+        assert tail.mean_delay < 0.5
+
+    def test_works_on_cellular_trace(self):
+        from repro.cellular import generate_scenario_trace
+        trace = generate_scenario_trace("campus_stationary", duration=30.0,
+                                        technology="3g", seed=5)
+        sim = Simulator()
+        link = TraceLink(sim, trace, delay=0.01)
+        sender, receiver = SproutSender(0), SproutReceiver(0)
+        path = DirectPath(sim, link, sender, receiver, rtt=0.02)
+        path.run(30.0)
+        stats = flow_stats(receiver.deliveries, start=10.0, end=30.0)
+        assert stats.throughput_bps > 0.3 * link.average_rate_bps()
+        assert stats.mean_delay < 0.3
+
+
+class TestBeliefProperties:
+    """Property tests on the Bayesian rate belief."""
+
+    def test_probabilities_stay_normalised_under_random_ops(self):
+        import numpy as np
+        from hypothesis import given, settings
+        rng = np.random.default_rng(0)
+        belief = RateBelief()
+        for _ in range(300):
+            belief.evolve()
+            belief.observe(int(rng.integers(0, 60)),
+                           censored=bool(rng.random() < 0.5))
+            assert abs(belief.prob.sum() - 1.0) < 1e-9
+            assert np.all(belief.prob >= 0)
+
+    def test_mean_between_min_and_max_rate(self):
+        belief = RateBelief(min_rate=0.1, max_rate=100.0)
+        for k in (0, 5, 200, 1):
+            belief.evolve()
+            belief.observe(k)
+            assert 0.1 <= belief.mean() <= 100.0
+
+    def test_censored_never_lowers_quantile_much(self):
+        """A censored (lower-bound) observation must not pull the belief
+        down: the 50th percentile may only move up or stay."""
+        belief = RateBelief()
+        for _ in range(30):
+            belief.evolve()
+            belief.observe(10)
+        median_before = belief.quantile(0.5)
+        belief.observe(25, censored=True)
+        assert belief.quantile(0.5) >= median_before * 0.99

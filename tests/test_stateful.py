@@ -1,0 +1,214 @@
+"""Stateful (model-based) property tests with hypothesis.
+
+These drive the core data structures through arbitrary operation
+sequences and check their invariants after every step — the kind of
+testing that catches interleaving bugs unit tests miss.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import DelayEstimator, DelayProfiler, LossHandler
+from repro.netsim import DropTailQueue, Packet, Simulator
+
+
+class QueueMachine(RuleBasedStateMachine):
+    """Drop-tail queue vs a reference deque model."""
+
+    def __init__(self):
+        super().__init__()
+        self.queue = DropTailQueue(capacity_bytes=10_000)
+        self.model = []
+        self.seq = 0
+
+    @rule(size=st.integers(40, 3000))
+    def push(self, size):
+        packet = Packet(flow_id=0, seq=self.seq, size=size)
+        self.seq += 1
+        accepted = self.queue.push(packet, now=0.0)
+        expected = sum(p.size for p in self.model) + size <= 10_000
+        assert accepted == expected
+        if accepted:
+            self.model.append(packet)
+
+    @rule()
+    def pop(self):
+        packet = self.queue.pop(0.0)
+        if not self.model:
+            assert packet is None
+        else:
+            expected = self.model.pop(0)
+            assert packet is expected
+
+    @invariant()
+    def byte_count_matches_model(self):
+        assert self.queue.bytes == sum(p.size for p in self.model)
+
+    @invariant()
+    def length_matches_model(self):
+        assert len(self.queue) == len(self.model)
+
+    @invariant()
+    def conservation(self):
+        stats = self.queue.stats
+        assert stats.enqueued == stats.dequeued + len(self.queue)
+
+
+class SimulatorMachine(RuleBasedStateMachine):
+    """Event engine: time monotone, every live event fires exactly once."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.fired = []
+        self.expected = []
+        self.cancelled = 0
+        self.counter = 0
+
+    @rule(delay=st.floats(0.0, 10.0))
+    def schedule(self, delay):
+        tag = self.counter
+        self.counter += 1
+        self.sim.schedule(delay, self.fired.append, tag)
+        self.expected.append(tag)
+
+    @rule(delay=st.floats(0.0, 10.0))
+    def schedule_and_cancel(self, delay):
+        tag = self.counter
+        self.counter += 1
+        event = self.sim.schedule(delay, self.fired.append, tag)
+        event.cancel()
+        self.cancelled += 1
+
+    @rule(horizon=st.floats(0.5, 5.0))
+    def run_for(self, horizon):
+        before = self.sim.now
+        self.sim.run(until=self.sim.now + horizon)
+        assert self.sim.now >= before
+
+    def teardown(self):
+        self.sim.run()   # drain
+        assert sorted(self.fired) == sorted(self.expected)
+
+
+class ProfilerMachine(RuleBasedStateMachine):
+    """Delay profiler: bounded size, positive delays, sane lookups."""
+
+    def __init__(self):
+        super().__init__()
+        self.profiler = DelayProfiler(max_points=32)
+        self.now = 0.0
+
+    @rule(window=st.integers(0, 500), delay=st.floats(0.001, 5.0))
+    def add(self, window, delay):
+        self.now += 0.01
+        self.profiler.add_sample(window, delay, now=self.now)
+
+    @rule()
+    def rebuild(self):
+        self.profiler.interpolate(d_min=0.001, now=self.now)
+
+    @rule(target_delay=st.floats(0.0005, 10.0))
+    @precondition(lambda self: self.profiler.ready)
+    def lookup(self, target_delay):
+        window = self.profiler.window_for_delay(target_delay)
+        assert window >= 0.0
+        assert np.isfinite(window)
+
+    @invariant()
+    def size_bounded(self):
+        assert len(self.profiler) <= 32
+
+    @invariant()
+    def knots_positive(self):
+        for window, delay in self.profiler.knots():
+            assert window >= 0 and delay > 0
+
+
+class LossHandlerMachine(RuleBasedStateMachine):
+    """Loss handler: window bounded below, recovery state consistent."""
+
+    def __init__(self):
+        super().__init__()
+        self.handler = LossHandler(multiplicative_decrease=0.5,
+                                   min_window=1.0)
+
+    @rule(w_loss=st.floats(1.0, 10_000.0))
+    def loss(self, w_loss):
+        window = self.handler.on_loss(w_loss)
+        assert window >= 1.0
+        assert self.handler.in_recovery
+
+    @rule(window_at_send=st.floats(0.0, 20_000.0))
+    @precondition(lambda self: self.handler.in_recovery)
+    def ack(self, window_at_send):
+        window = self.handler.on_ack_in_recovery(window_at_send)
+        assert window >= 1.0
+
+    @invariant()
+    def window_only_in_recovery(self):
+        if self.handler.in_recovery:
+            assert self.handler.window is not None
+        else:
+            assert self.handler.window is None
+
+    @invariant()
+    def counters_sane(self):
+        assert self.handler.recoveries_completed <= self.handler.losses
+
+
+class EstimatorMachine(RuleBasedStateMachine):
+    """Delay estimator: D_min <= D_max window relationships hold."""
+
+    def __init__(self):
+        super().__init__()
+        self.estimator = DelayEstimator(alpha=0.7, min_window=5.0)
+        self.now = 0.0
+        self.all_delays = []
+
+    @rule(delay=st.floats(0.001, 10.0), dt=st.floats(0.0, 2.0))
+    def sample(self, delay, dt):
+        self.now += dt
+        self.estimator.add_sample(delay, now=self.now)
+        self.all_delays.append(delay)
+
+    @rule()
+    def close_epoch(self):
+        self.estimator.end_epoch()
+
+    @invariant()
+    def lifetime_min_is_global_min(self):
+        if self.all_delays:
+            assert self.estimator.lifetime_min == min(self.all_delays)
+
+    @invariant()
+    def windowed_min_at_least_lifetime(self):
+        if self.estimator.d_min is not None:
+            assert (self.estimator.d_min
+                    >= self.estimator.lifetime_min - 1e-12)
+
+    @invariant()
+    def dmax_within_sample_range(self):
+        if self.estimator.d_max is not None and self.all_delays:
+            assert (min(self.all_delays) - 1e-9
+                    <= self.estimator.d_max
+                    <= max(self.all_delays) + 1e-9)
+
+
+TestQueueMachine = QueueMachine.TestCase
+TestSimulatorMachine = SimulatorMachine.TestCase
+TestProfilerMachine = ProfilerMachine.TestCase
+TestLossHandlerMachine = LossHandlerMachine.TestCase
+TestEstimatorMachine = EstimatorMachine.TestCase
+
+for case in (TestQueueMachine, TestSimulatorMachine, TestProfilerMachine,
+             TestLossHandlerMachine, TestEstimatorMachine):
+    case.settings = settings(max_examples=25, stateful_step_count=40,
+                             deadline=None)

@@ -1,0 +1,122 @@
+"""Tests for the packet-event tracing tap."""
+
+import pytest
+
+from repro.core import VerusConfig, VerusReceiver, VerusSender
+from repro.netsim import (
+    DelayLine,
+    DropTailQueue,
+    FlowTracer,
+    Link,
+    Packet,
+    PacketTap,
+    Simulator,
+)
+
+
+class TestPacketTap:
+    def test_records_and_forwards(self):
+        received = []
+        tap = PacketTap("x", dst=received.append)
+        tap(Packet(flow_id=0, seq=1, sent_time=0.5))
+        assert len(received) == 1
+        assert tap.records[0].seq == 1
+        assert tap.records[0].point == "x"
+
+    def test_uses_clock_when_given(self):
+        tap = PacketTap("x", clock=lambda: 42.0)
+        tap(Packet(flow_id=0, seq=0))
+        assert tap.records[0].time == 42.0
+
+    def test_max_records_bounds_memory(self):
+        tap = PacketTap("x", max_records=2)
+        for seq in range(5):
+            tap(Packet(flow_id=0, seq=seq))
+        assert len(tap.records) == 2
+        assert tap.dropped_records == 3
+
+    def test_counts_by_kind(self):
+        tap = PacketTap("x")
+        tap(Packet(flow_id=0, seq=0))
+        tap(Packet(flow_id=0, seq=0, is_ack=True))
+        assert tap.count() == 2
+        assert tap.count(is_ack=True) == 1
+        assert tap.count(is_ack=False) == 1
+
+    def test_needs_point_name(self):
+        with pytest.raises(ValueError):
+            PacketTap("")
+
+    def test_record_line_format(self):
+        tap = PacketTap("sender-out", clock=lambda: 0.00123)
+        tap(Packet(flow_id=3, seq=9, size=1400, retransmission=True))
+        line = tap.records[0].line()
+        assert "sender-out" in line
+        assert "flow=3" in line and "seq=9" in line and "RTX" in line
+
+
+class TestFlowTracer:
+    def test_duplicate_point_rejected(self):
+        tracer = FlowTracer()
+        tracer.tap("a")
+        with pytest.raises(ValueError):
+            tracer.tap("a")
+
+    def test_hop_delay_over_a_link(self):
+        sim = Simulator()
+        tracer = FlowTracer()
+        sink = []
+        exit_tap = tracer.tap("rx-in", dst=sink.append,
+                              clock=lambda: sim.now)
+        link = Link(sim, rate_bps=8e6, delay=0.010, dst=exit_tap)
+        entry_tap = tracer.tap("tx-out", dst=link.send,
+                               clock=lambda: sim.now)
+        entry_tap(Packet(flow_id=0, seq=0, size=1000))
+        sim.run()
+        delay = tracer.hop_delay(0, 0, "tx-out", "rx-in")
+        assert delay == pytest.approx(0.011)   # 1 ms serialise + 10 ms prop
+
+    def test_timeline_is_time_ordered(self):
+        tracer = FlowTracer()
+        a = tracer.tap("a", clock=lambda: 2.0)
+        b = tracer.tap("b", clock=lambda: 1.0)
+        a(Packet(flow_id=0, seq=5))
+        b(Packet(flow_id=0, seq=5))
+        times = [r.time for r in tracer.timeline(0, 5)]
+        assert times == sorted(times)
+
+    def test_export_roundtrip(self, tmp_path):
+        tracer = FlowTracer()
+        tap = tracer.tap("a", clock=lambda: 0.001)
+        for seq in range(3):
+            tap(Packet(flow_id=0, seq=seq))
+        out = tmp_path / "trace.txt"
+        written = tracer.export(out)
+        assert written == 3
+        assert len(out.read_text().splitlines()) == 3
+
+    def test_traces_a_live_verus_flow(self):
+        """Taps around a Verus flow expose queueing delay per packet."""
+        sim = Simulator()
+        tracer = FlowTracer()
+        sender = VerusSender(0, VerusConfig())
+        receiver = VerusReceiver(0)
+
+        rx_tap = tracer.tap("rx-in", dst=receiver.on_data,
+                            clock=lambda: sim.now, max_records=5000)
+        link = Link(sim, rate_bps=10e6, queue=DropTailQueue(), dst=rx_tap)
+        tx_tap = tracer.tap("tx-out", dst=link.send, clock=lambda: sim.now,
+                            max_records=5000)
+        forward = DelayLine(sim, 0.025, dst=tx_tap)
+        reverse = DelayLine(sim, 0.025, dst=sender.on_ack)
+        sender.attach(sim, forward.send)
+        receiver.attach(sim, reverse.send)
+        sim.schedule_at(0.0, sender.start)
+        sim.run(until=5.0)
+
+        assert rx_tap.count(is_ack=False) > 100
+        # Every hop delay is at least the 1.12 ms serialisation time.
+        for seq in (10, 50, 100):
+            delay = tracer.hop_delay(0, seq, "tx-out", "rx-in")
+            assert delay is not None
+            assert delay >= 1400 * 8 / 10e6 - 1e-9

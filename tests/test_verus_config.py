@@ -1,0 +1,72 @@
+"""Validation tests for VerusConfig."""
+
+import pytest
+
+from repro.core import VerusConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = VerusConfig()
+        assert cfg.epoch == 0.005                       # ε = 5 ms
+        assert cfg.r == 2.0                             # default R
+        assert cfg.delta1 == 0.001                      # δ1 = 1 ms
+        assert cfg.delta2 == 0.002                      # δ2 = 2 ms
+        assert cfg.profile_update_interval == 1.0       # 1 s re-interpolation
+        assert cfg.ss_exit_ratio == 15.0                # N = 15
+        assert cfg.multiplicative_decrease == 0.5
+        assert cfg.packet_bytes == 1400                 # paper MTU
+
+    def test_paper_default_factory_sets_r(self):
+        assert VerusConfig.paper_default(r=6.0).r == 6.0
+
+    def test_delta_constraint_from_paper(self):
+        """§5.3: 1 ms ≤ δ ≤ 2 ms with δ1 ≤ δ2."""
+        cfg = VerusConfig()
+        assert 0.001 <= cfg.delta1 <= cfg.delta2 <= 0.002
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("epoch", 0.0),
+        ("epoch", -0.005),
+        ("r", 1.0),
+        ("r", 0.5),
+        ("delta1", 0.0),
+        ("alpha", 0.0),
+        ("alpha", 1.1),
+        ("multiplicative_decrease", 1.0),
+        ("multiplicative_decrease", 0.0),
+        ("ss_exit_ratio", 1.0),
+        ("profile_update_interval", 0.0),
+        ("profile_ewma", 0.0),
+        ("min_window", -1.0),
+        ("dmin_window", 0.0),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            VerusConfig(**{field: value})
+
+    def test_delta1_must_not_exceed_delta2(self):
+        with pytest.raises(ValueError):
+            VerusConfig(delta1=0.003, delta2=0.002)
+
+    def test_max_window_must_cover_min(self):
+        with pytest.raises(ValueError):
+            VerusConfig(min_window=10.0, max_window=5.0)
+
+    def test_none_update_interval_is_static_profile(self):
+        """Fig 15's 'static delay profile' ablation configuration."""
+        cfg = VerusConfig(profile_update_interval=None)
+        assert cfg.profile_update_interval is None
+
+    def test_none_dmin_window_is_lifetime(self):
+        cfg = VerusConfig(dmin_window=None)
+        assert cfg.dmin_window is None
+
+    @pytest.mark.parametrize("field", ["floor_rebase_after",
+                                       "profile_max_age"])
+    def test_optional_positive_fields(self, field):
+        assert getattr(VerusConfig(**{field: None}), field) is None
+        with pytest.raises(ValueError):
+            VerusConfig(**{field: 0.0})

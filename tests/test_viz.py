@@ -1,0 +1,107 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.viz import histogram, line_chart, multi_line_chart, scatter_plot, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_downsamples_to_width(self):
+        assert len(sparkline(range(1000), width=40)) == 40
+
+    def test_monotone_series_monotone_levels(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        levels = [" ▁▂▃▄▅▆▇█".index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_constant_series_mid_level(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_nan_rendered_as_space(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_contains_title_and_axes(self):
+        text = line_chart([0, 1, 2], [0, 1, 4], title="T", x_label="t",
+                          y_label="v")
+        assert "T" in text
+        assert "└" in text
+        assert "x: t" in text and "y: v" in text
+
+    def test_height_respected(self):
+        text = line_chart([0, 1], [0, 1], height=10)
+        plot_rows = [l for l in text.splitlines() if "│" in l]
+        assert len(plot_rows) == 10
+
+    def test_marks_present(self):
+        text = line_chart(np.linspace(0, 1, 50), np.linspace(0, 1, 50))
+        assert "*" in text
+
+    def test_flat_series_no_crash(self):
+        text = line_chart([0, 1, 2], [3, 3, 3])
+        assert "*" in text
+
+    def test_all_nan_handled(self):
+        text = line_chart([0, 1], [float("nan")] * 2)
+        assert "no finite data" in text
+
+    def test_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], [0, 1], width=4)
+
+
+class TestMultiLine:
+    def test_legend_lists_all_series(self):
+        text = multi_line_chart({
+            "a": ([0, 1], [0, 1]),
+            "b": ([0, 1], [1, 0]),
+        })
+        assert "*=a" in text and "o=b" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            multi_line_chart({"a": ([0, 1], [0])})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multi_line_chart({})
+
+
+class TestScatter:
+    def test_log_axis(self):
+        text = scatter_plot({"p": [(0.01, 1.0), (1.0, 2.0)]}, log_x=True,
+                            x_label="delay")
+        assert "log10(delay)" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scatter_plot({"p": [(0.0, 1.0)]}, log_x=True)
+
+    def test_groups_plotted(self):
+        text = scatter_plot({"a": [(1, 1)], "b": [(2, 2)]})
+        assert "*" in text and "o" in text
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        text = histogram([1, 1, 2, 3, 3, 3], bins=3)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()]
+        assert sum(counts) == 6
+
+    def test_log_bins(self):
+        text = histogram([1, 10, 100, 1000], bins=3, log=True)
+        assert text
+
+    def test_empty(self):
+        assert "(no data)" in histogram([])

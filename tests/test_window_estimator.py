@@ -1,0 +1,148 @@
+"""Unit tests for the Window Estimator (eq. 4 and eq. 5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WindowEstimator
+
+
+def make(r=2.0, delta1=0.001, delta2=0.002, epoch=0.005, d_est=0.1):
+    est = WindowEstimator(r=r, delta1=delta1, delta2=delta2, epoch=epoch)
+    est.initialise(d_est)
+    return est
+
+
+class TestValidation:
+    def test_rejects_r_at_most_one(self):
+        with pytest.raises(ValueError):
+            WindowEstimator(r=1.0, delta1=0.001, delta2=0.002, epoch=0.005)
+
+    def test_rejects_delta1_above_delta2(self):
+        with pytest.raises(ValueError):
+            WindowEstimator(r=2.0, delta1=0.003, delta2=0.002, epoch=0.005)
+
+    def test_rejects_nonpositive_epoch(self):
+        with pytest.raises(ValueError):
+            WindowEstimator(r=2.0, delta1=0.001, delta2=0.002, epoch=0.0)
+
+    def test_update_before_initialise_raises(self):
+        est = WindowEstimator(r=2.0, delta1=0.001, delta2=0.002, epoch=0.005)
+        with pytest.raises(RuntimeError):
+            est.update_set_point(0.0, 0.1, 0.05)
+
+    def test_initialise_rejects_nonpositive(self):
+        est = WindowEstimator(r=2.0, delta1=0.001, delta2=0.002, epoch=0.005)
+        with pytest.raises(ValueError):
+            est.initialise(0.0)
+
+
+class TestEq4Branches:
+    def test_ratio_branch_decrements_by_delta2(self):
+        est = make(r=2.0, d_est=0.200)
+        # D_max/D_min = 0.3/0.1 = 3 > R
+        result = est.update_set_point(delta_d=-0.01, d_max=0.3, d_min=0.1)
+        assert result == pytest.approx(0.198)
+        assert est.last_branch == "ratio"
+
+    def test_ratio_branch_has_priority_over_delta_d(self):
+        est = make(r=2.0, d_est=0.100)
+        est.update_set_point(delta_d=0.05, d_max=0.5, d_min=0.1)
+        assert est.last_branch == "ratio"
+
+    def test_backoff_branch_decrements_by_delta1(self):
+        est = make(r=10.0, d_est=0.150)
+        result = est.update_set_point(delta_d=0.01, d_max=0.15, d_min=0.1)
+        assert result == pytest.approx(0.149)
+        assert est.last_branch == "backoff"
+
+    def test_backoff_floored_at_dmin(self):
+        est = make(r=10.0, d_est=0.1005)
+        result = est.update_set_point(delta_d=0.01, d_max=0.15, d_min=0.1)
+        assert result == pytest.approx(0.1)  # max(D_min, D_est - δ1)
+
+    def test_increase_branch_adds_delta2(self):
+        est = make(r=10.0, d_est=0.100)
+        result = est.update_set_point(delta_d=-0.01, d_max=0.15, d_min=0.1)
+        assert result == pytest.approx(0.102)
+        assert est.last_branch == "increase"
+
+    def test_zero_delta_d_counts_as_increase(self):
+        est = make(r=10.0, d_est=0.100)
+        est.update_set_point(delta_d=0.0, d_max=0.15, d_min=0.1)
+        assert est.last_branch == "increase"
+
+    def test_set_point_never_below_dmin(self):
+        est = make(r=2.0, d_est=0.101)
+        for _ in range(100):
+            est.update_set_point(delta_d=0.0, d_max=0.5, d_min=0.1)
+        assert est.d_est >= 0.1
+
+    def test_rejects_nonpositive_dmin(self):
+        est = make()
+        with pytest.raises(ValueError):
+            est.update_set_point(0.0, 0.1, 0.0)
+
+    def test_equilibrium_oscillates_near_r_dmin(self):
+        """Driving eq. 4 with D_max = D_est settles near R × D_min."""
+        est = make(r=2.0, d_est=0.05)
+        d_min = 0.05
+        for _ in range(2000):
+            est.update_set_point(delta_d=0.0, d_max=est.d_est, d_min=d_min)
+        assert est.d_est == pytest.approx(2.0 * d_min, rel=0.1)
+
+
+class TestEq5:
+    def test_epochs_per_rtt_ceiling(self):
+        assert WindowEstimator.epochs_per_rtt(0.050, 0.005) == 10
+        assert WindowEstimator.epochs_per_rtt(0.051, 0.005) == 11
+
+    def test_epochs_per_rtt_floor_of_two(self):
+        assert WindowEstimator.epochs_per_rtt(0.001, 0.005) == 2
+        assert WindowEstimator.epochs_per_rtt(0.0, 0.005) == 2
+
+    def test_steady_state_sends_window_per_rtt(self):
+        """W_{i+1} = W_i = W → S = W/(n−1): one window per RTT."""
+        est = make()
+        w = 90.0
+        rtt = 0.050
+        n = WindowEstimator.epochs_per_rtt(rtt, est.epoch)
+        s = est.send_budget(w, w, rtt)
+        assert s == pytest.approx(w / (n - 1))
+
+    def test_budget_clamped_at_zero(self):
+        est = make()
+        # Window collapsed: far more in flight than the next target.
+        assert est.send_budget(1.0, 500.0, 0.05) == 0.0
+
+    def test_growth_sends_more(self):
+        est = make()
+        shrink = est.send_budget(50.0, 100.0, 0.05)
+        steady = est.send_budget(100.0, 100.0, 0.05)
+        grow = est.send_budget(150.0, 100.0, 0.05)
+        assert shrink < steady < grow
+
+    def test_rejects_negative_windows(self):
+        est = make()
+        with pytest.raises(ValueError):
+            est.send_budget(-1.0, 0.0, 0.05)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(0.0, 1000.0), st.floats(0.0, 1000.0),
+           st.floats(0.001, 1.0))
+    def test_property_budget_nonnegative(self, w_next, w_cur, rtt):
+        est = make()
+        assert est.send_budget(w_next, w_cur, rtt) >= 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(0.01, 0.5), st.floats(0.01, 0.5), st.floats(0.01, 0.5))
+    def test_property_eq4_moves_by_at_most_delta2(self, d_est, d_max, d_min):
+        est = make(d_est=d_est)
+        before = est.d_est
+        after = est.update_set_point(0.0, d_max, d_min)
+        # Single update moves the set-point by at most δ2 (modulo the
+        # D_min floor, which can only pull it up).
+        assert after >= min(before - est.delta2, d_min)
+        assert after <= max(before + est.delta2, d_min)
