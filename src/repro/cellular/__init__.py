@@ -11,6 +11,7 @@ from .channel_model import (
     TTI_SECONDS,
     CellularChannelModel,
     ChannelParams,
+    ChannelStepper,
     CompetingUser,
     trace_rate_bps,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "CellularChannelModel",
     "ChannelValidation",
     "ChannelParams",
+    "ChannelStepper",
     "CompetingUser",
     "DEFAULT_RATE_BPS",
     "EVALUATION_SCENARIOS",

@@ -212,6 +212,22 @@ class CellularChannelModel:
         return arr
 
     # ------------------------------------------------------------------
+    def stepper(self, capacity_bps: Optional[float] = None,
+                competitors: Sequence[CompetingUser] = ()) -> "ChannelStepper":
+        """Incremental real-time view of this channel.
+
+        :meth:`generate` materialises a whole trace up front, which a live
+        emulator cannot do for an open-ended session.  The returned
+        :class:`ChannelStepper` produces the same composed processes
+        (OU slow fading, Markov ON/OFF TTIs, log-normal bursts, Poisson
+        outages, competing-user share) chunk by chunk, carrying every
+        process state across calls, so delivery opportunities can be
+        drawn just-in-time as wall-clock time advances.
+        """
+        return ChannelStepper(self, capacity_bps=capacity_bps,
+                              competitors=competitors)
+
+    # ------------------------------------------------------------------
     def _draw_burst(self, mean_packets: float) -> int:
         """Log-normal burst size with the configured dispersion."""
         if mean_packets <= 0:
@@ -270,6 +286,100 @@ class CellularChannelModel:
         fair_cap = capacity_bps * n_active / (n_active + 1.0)
         taken = min(other, fair_cap)
         return min(1.0, max(0.05, (capacity_bps - taken) / capacity_bps))
+
+
+class ChannelStepper:
+    """Stateful, incremental delivery-opportunity generator.
+
+    Created by :meth:`CellularChannelModel.stepper`.  Each :meth:`advance`
+    call extends the trace by ``dt`` seconds and returns only the new
+    opportunities, so a real-time consumer (the :mod:`repro.live` link
+    emulator) can pull the channel forward in small chunks without ever
+    knowing the session duration.  All stochastic state — the OU
+    slow-fading level, the Markov TTI service state and any in-progress
+    outage — persists across calls; concatenating the chunks yields a
+    statistically identical trace to one :meth:`generate` call.
+    """
+
+    def __init__(self, model: CellularChannelModel,
+                 capacity_bps: Optional[float] = None,
+                 competitors: Sequence[CompetingUser] = ()):
+        self.model = model
+        self.params = model.params
+        self.rng = model.rng
+        self.competitors = tuple(competitors)
+        p = self.params
+        self.capacity_bps = (capacity_bps if capacity_bps is not None
+                             else p.mean_rate_bps)
+        #: Continuous time (seconds) up to which the channel has been drawn.
+        self.now: float = 0.0
+        self._tti_index = 0
+        self._on = self.rng.random() < p.serve_prob
+        # OU initial condition: stationary distribution, as in _ou_path.
+        self._log_fade = float(self.rng.normal(
+            0.0, p.fading_sigma / math.sqrt(max(2 * p.fading_theta, 1e-9))))
+        self._outage_until = 0.0
+        mean_on_run = 1.5 if p.technology == "lte" else 3.0
+        self._q_off = 1.0 / mean_on_run
+        denom = max(1e-9, 1.0 - p.serve_prob)
+        self._q_on = min(1.0, self._q_off * p.serve_prob / denom)
+        ou_var = (p.fading_sigma ** 2 / (2.0 * p.fading_theta)
+                  if p.fading_theta > 0 else p.fading_sigma ** 2)
+        self._fade_correction = math.exp(
+            0.5 * (ou_var + p.fast_fading_sigma ** 2))
+        self._serialize_dt = p.packet_bytes * 8.0 / p.peak_rate_bps
+        self._ou_sq = p.fading_sigma * math.sqrt(TTI_SECONDS)
+
+    def advance(self, dt: float) -> np.ndarray:
+        """Draw the delivery opportunities in ``[now, now + dt)``."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        p = self.params
+        rng = self.rng
+        end = self.now + dt
+        end_tti = int(math.ceil(end / TTI_SECONDS))
+        times: List[float] = []
+        while self._tti_index < end_tti:
+            i = self._tti_index
+            self._tti_index += 1
+            t = i * TTI_SECONDS
+            # OU update runs every TTI, in or out of outage, mirroring
+            # the precomputed path of CellularChannelModel._ou_path.
+            self._log_fade += (-p.fading_theta * self._log_fade * TTI_SECONDS
+                               + self._ou_sq * float(rng.normal()))
+            # Poisson outage arrivals, drawn per TTI instead of globally.
+            if p.outage_rate > 0 and t >= self._outage_until:
+                if rng.random() < p.outage_rate * TTI_SECONDS:
+                    self._outage_until = t + float(
+                        rng.exponential(p.outage_duration))
+            if t < self._outage_until:
+                self._on = False
+                continue
+            if self._on:
+                if rng.random() < self._q_off:
+                    self._on = False
+            else:
+                if rng.random() < self._q_on:
+                    self._on = True
+            if not self._on:
+                continue
+            share = CellularChannelModel._user_share(
+                t, self.capacity_bps, self.competitors)
+            if share < 1.0 and rng.random() > share:
+                continue
+            fade = (math.exp(self._log_fade)
+                    * math.exp(rng.normal(0.0, p.fast_fading_sigma))
+                    / self._fade_correction)
+            k = self.model._draw_burst(p.mean_burst_packets * fade)
+            if k <= 0:
+                continue
+            start = t + rng.uniform(0.0, TTI_SECONDS * 0.5)
+            for j in range(k):
+                ts = start + j * self._serialize_dt
+                if self.now <= ts < end:
+                    times.append(ts)
+        self.now = end
+        return np.asarray(sorted(times), dtype=float)
 
 
 def trace_rate_bps(times: np.ndarray, packet_bytes: int = MTU_BYTES) -> float:

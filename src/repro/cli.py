@@ -7,6 +7,11 @@ Usage::
     python -m repro run table1 --duration 30  # faster, lower fidelity
     python -m repro quickstart                # Verus vs Cubic in one line
     python -m repro trace --scenario city_driving --out trace.txt
+    python -m repro live --protocol verus --protocol cubic --duration 10
+
+Every experiment honours ``--seed`` so invocations are reproducible
+from the shell; without it each experiment keeps its paper-default
+seed.
 """
 
 from __future__ import annotations
@@ -19,9 +24,15 @@ from .experiments import format_table
 from .experiments.report import format_series
 
 
+def _seed_kwargs(args) -> dict:
+    """``{'seed': n}`` when ``--seed`` was given, else {} (paper default)."""
+    seed = getattr(args, "seed", None)
+    return {} if seed is None else {"seed": seed}
+
+
 def _run_fig1(args) -> None:
     from .experiments.channel_study import fig1_burst_arrivals
-    result = fig1_burst_arrivals(duration=args.duration)
+    result = fig1_burst_arrivals(duration=args.duration, **_seed_kwargs(args))
     print(format_series("fig1 burst arrivals", result.times,
                         result.delays * 1e3, "t(s)", "delay(ms)"))
     print(format_table([result.stats.summary()], title="burst statistics"))
@@ -29,20 +40,22 @@ def _run_fig1(args) -> None:
 
 def _run_fig2(args) -> None:
     from .experiments.channel_study import fig2_burst_pdfs
-    result = fig2_burst_pdfs(duration=args.duration)
+    result = fig2_burst_pdfs(duration=args.duration, **_seed_kwargs(args))
     print(format_table(result.summary_rows(), title="Fig 2: burst statistics"))
 
 
 def _run_fig3(args) -> None:
     from .experiments.channel_study import fig3_competing_traffic
-    result = fig3_competing_traffic(duration=args.duration)
+    result = fig3_competing_traffic(duration=args.duration,
+                                    **_seed_kwargs(args))
     print(format_table(result.rows, title="Fig 3: competing traffic delay"))
 
 
 def _run_fig4(args) -> None:
     from .experiments.channel_study import fig4_throughput_windows
     from .viz import line_chart
-    result = fig4_throughput_windows(duration=args.duration)
+    result = fig4_throughput_windows(duration=args.duration,
+                                     **_seed_kwargs(args))
     t100, s100 = result.window_100ms
     t20, s20 = result.window_20ms
     n = min(600, t100.size)
@@ -61,7 +74,7 @@ def _run_fig4(args) -> None:
 def _run_fig5(args) -> None:
     from .experiments.profile_study import fig5_example_profile
     from .viz import line_chart
-    snap = fig5_example_profile(duration=args.duration)
+    snap = fig5_example_profile(duration=args.duration, **_seed_kwargs(args))
     print(line_chart(snap.windows, snap.delays_ms,
                      title="Fig 5: Verus delay profile",
                      x_label="sending window W (packets)",
@@ -70,7 +83,8 @@ def _run_fig5(args) -> None:
 
 def _run_fig7(args) -> None:
     from .experiments.profile_study import fig7_profile_evolution, profile_tracks_channel
-    result = fig7_profile_evolution(duration=args.duration)
+    result = fig7_profile_evolution(duration=args.duration,
+                                    **_seed_kwargs(args))
     print(f"snapshots: {len(result.snapshots)}  "
           f"interpolations: {result.interpolations}  "
           f"profile_tracks_channel: {profile_tracks_channel(result)}")
@@ -78,14 +92,16 @@ def _run_fig7(args) -> None:
 
 def _run_fig8(args) -> None:
     from .experiments.macro import fig8_realworld
-    points = fig8_realworld(duration=args.duration, repetitions=args.reps)
+    points = fig8_realworld(duration=args.duration, repetitions=args.reps,
+                            **_seed_kwargs(args))
     print(format_table([p.as_dict() for p in points],
                        title="Fig 8: real-world macro comparison"))
 
 
 def _run_fig9(args) -> None:
     from .experiments.macro import fig9_r_tradeoff
-    points = fig9_r_tradeoff(duration=args.duration, repetitions=args.reps)
+    points = fig9_r_tradeoff(duration=args.duration, repetitions=args.reps,
+                             **_seed_kwargs(args))
     print(format_table([p.as_dict() for p in points],
                        title="Fig 9: Verus R trade-off"))
 
@@ -93,7 +109,7 @@ def _run_fig9(args) -> None:
 def _run_fig10(args) -> None:
     from .experiments.tracedriven import fig10_mobility, summarize_fig10
     from .viz import scatter_plot
-    points = fig10_mobility(duration=args.duration)
+    points = fig10_mobility(duration=args.duration, **_seed_kwargs(args))
     print(format_table(summarize_fig10(points),
                        title="Fig 10: mobility scatter (summarised)"))
     for scenario in sorted({p.scenario for p in points}):
@@ -108,7 +124,7 @@ def _run_fig10(args) -> None:
 
 def _run_table1(args) -> None:
     from .experiments.tracedriven import table1_fairness
-    rows = table1_fairness(duration=args.duration)
+    rows = table1_fairness(duration=args.duration, **_seed_kwargs(args))
     print(format_table(rows, title="Table 1: Jain's fairness index"))
 
 
@@ -116,7 +132,8 @@ def _run_fig11(args) -> None:
     from .experiments.micro import fig11_rapid_change
     from .viz import multi_line_chart
     for scenario in ("I", "II"):
-        result = fig11_rapid_change(scenario, duration=args.duration)
+        result = fig11_rapid_change(scenario, duration=args.duration,
+                                    **_seed_kwargs(args))
         rows = [{"protocol": name,
                  "throughput_mbps": stats["throughput_bps"] / 1e6,
                  "mean_delay_ms": stats["mean_delay_ms"],
@@ -132,14 +149,14 @@ def _run_fig11(args) -> None:
 
 def _run_fig12(args) -> None:
     from .experiments.micro import fig12_new_flows
-    result = fig12_new_flows()
+    result = fig12_new_flows(**_seed_kwargs(args))
     print(f"Fig 12: final Jain index {result.final_jain:.3f}, first flow "
           f"alone used {result.first_flow_initial_share:.0%} of the link")
 
 
 def _run_fig13(args) -> None:
     from .experiments.micro import fig13_rtt_fairness
-    result = fig13_rtt_fairness(duration=args.duration)
+    result = fig13_rtt_fairness(duration=args.duration, **_seed_kwargs(args))
     print(format_table([s.as_dict() for s in result["stats"]],
                        title="Fig 13: RTT fairness"))
     print(f"Jain index: {result['jain']:.3f}   "
@@ -148,7 +165,7 @@ def _run_fig13(args) -> None:
 
 def _run_fig14(args) -> None:
     from .experiments.micro import fig14_vs_cubic
-    result = fig14_vs_cubic()
+    result = fig14_vs_cubic(**_seed_kwargs(args))
     print(f"Fig 14: Verus/Cubic aggregate share ratio "
           f"{result['verus_to_cubic_ratio']:.2f} "
           f"(Jain over all six flows: {result['jain_all']:.3f})")
@@ -160,7 +177,7 @@ def _run_fig15(args) -> None:
         fig15_gain,
         fig15_static_profile,
     )
-    rows = fig15_static_profile(duration=args.duration)
+    rows = fig15_static_profile(duration=args.duration, **_seed_kwargs(args))
     print(format_table(rows, title="Fig 15: static vs updating profile"))
     print(f"updating/static throughput ratio: {fig15_gain(rows):.2f}")
     print(f"updating/static delay ratio:      {fig15_delay_ratio(rows):.2f}")
@@ -168,7 +185,8 @@ def _run_fig15(args) -> None:
 
 def _run_shortflows(args) -> None:
     from .experiments.short_flows import fct_sweep, verus_competitive_ratio
-    rows = fct_sweep(repetitions=2, duration=min(args.duration * 2, 120.0))
+    rows = fct_sweep(repetitions=2, duration=min(args.duration * 2, 120.0),
+                     **_seed_kwargs(args))
     print(format_table(rows, title="§7 short flows: completion times (s)"))
     print(f"geometric-mean Verus/Cubic FCT ratio: "
           f"{verus_competitive_ratio(rows):.2f}")
@@ -176,7 +194,7 @@ def _run_shortflows(args) -> None:
 
 def _run_uplink(args) -> None:
     from .experiments.uplink import observations_carry_over, uplink_comparison
-    rows = uplink_comparison(duration=args.duration)
+    rows = uplink_comparison(duration=args.duration, **_seed_kwargs(args))
     print(format_table(rows, title="§6.2 uplink comparison"))
     print("checks:", observations_carry_over(rows))
 
@@ -190,7 +208,8 @@ def _run_landscape(args) -> None:
         spec = importlib.util.spec_from_file_location("landscape", bench)
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
-        rows = module.run_landscape(duration=args.duration)
+        rows = module.run_landscape(duration=args.duration,
+                                    **_seed_kwargs(args))
     else:   # installed without the benchmarks tree: inline fallback
         from .cellular import generate_scenario_trace
         from .experiments import repeat_flows, run_trace_contention
@@ -222,8 +241,63 @@ def _run_sensitivity(args) -> None:
     for name, fn in (("epoch", sensitivity.sweep_epoch),
                      ("update interval", sensitivity.sweep_update_interval),
                      ("deltas", sensitivity.sweep_deltas)):
-        print(format_table(fn(duration=args.duration),
+        print(format_table(fn(duration=args.duration, **_seed_kwargs(args)),
                            title=f"§5.3 sweep: {name}"))
+
+
+def _run_live(args) -> None:
+    """``repro live``: a real UDP session through the link emulator."""
+    from .cellular import generate_scenario_trace, load_trace
+    from .experiments.runner import FlowSpec, run_trace_contention
+    from .live import LiveSessionError, run_live_session
+
+    protocols = args.protocol if args.protocol else ["verus"]
+    try:
+        specs = [FlowSpec(protocol=p,
+                          options={"r": 2.0} if p == "verus" else {})
+                 for p in protocols]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    seed = args.seed if args.seed is not None else 1
+    if args.trace:
+        try:
+            trace = load_trace(args.trace)
+        except OSError as exc:
+            print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+    else:
+        trace = generate_scenario_trace(args.scenario,
+                                        duration=max(args.duration, 1.0),
+                                        technology=args.technology,
+                                        seed=seed)
+    try:
+        result = run_live_session(specs, trace=trace,
+                                  duration=args.duration,
+                                  warmup=min(1.0, args.duration / 5.0),
+                                  seed=seed)
+    except LiveSessionError as exc:
+        print(f"live session unavailable: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    except KeyboardInterrupt:
+        print("live session interrupted", file=sys.stderr)
+        raise SystemExit(130)
+    rows = [s.as_dict() for s in result.all_stats()]
+    print(format_table(rows, title=f"live UDP session ({args.scenario}, "
+                                   f"{args.duration:g}s wall clock)"))
+    stats = result.emulator_stats
+    print(f"emulator: {stats.delivered} delivered, "
+          f"{stats.wasted_opportunities} wasted opportunities, "
+          f"{stats.stochastic_losses} losses, "
+          f"{stats.acks_forwarded} acks forwarded")
+    if args.compare_sim:
+        sim_result = run_trace_contention(trace, specs,
+                                          duration=args.duration,
+                                          warmup=min(1.0, args.duration / 5.0),
+                                          seed=seed)
+        sim_rows = [s.as_dict() for s in sim_result.all_stats()]
+        print(format_table(sim_rows,
+                           title="equivalent simulated run (same trace)"))
 
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -251,9 +325,31 @@ def main(argv=None) -> int:
                      help="simulated seconds per run (default 60)")
     run.add_argument("--reps", type=int, default=2,
                      help="repetitions for averaged experiments")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the experiment's paper-default seed")
 
     quick = sub.add_parser("quickstart", help="Verus vs Cubic on one trace")
     quick.add_argument("--duration", type=float, default=30.0)
+    quick.add_argument("--seed", type=int, default=None,
+                       help="channel/queue seed (default 1)")
+
+    live = sub.add_parser(
+        "live", help="run protocols over real UDP through the link emulator")
+    live.add_argument("--protocol", action="append", default=None,
+                      help="flow protocol; repeat for several concurrent "
+                           "flows (default: verus)")
+    live.add_argument("--scenario", default="city_driving")
+    live.add_argument("--technology", default="3g", choices=["3g", "lte"])
+    live.add_argument("--duration", type=float, default=10.0,
+                      help="wall-clock seconds (default 10)")
+    live.add_argument("--seed", type=int, default=None,
+                      help="channel/queue seed (default 1)")
+    live.add_argument("--trace", default=None,
+                      help="replay a Mahimahi-style trace file instead of "
+                           "generating the scenario")
+    live.add_argument("--compare-sim", action="store_true",
+                      help="also run the equivalent simulated session and "
+                           "print both result tables")
 
     report = sub.add_parser(
         "report", help="run the full reproduction and write a markdown report")
@@ -280,8 +376,12 @@ def main(argv=None) -> int:
         return 0
     if args.command == "quickstart":
         from . import quick_comparison
-        print(format_table(quick_comparison(duration=args.duration),
+        print(format_table(quick_comparison(duration=args.duration,
+                                            **_seed_kwargs(args)),
                            title="Verus vs TCP Cubic (shared 3G trace)"))
+        return 0
+    if args.command == "live":
+        _run_live(args)
         return 0
     if args.command == "report":
         from .experiments.full_report import generate_report

@@ -1,0 +1,48 @@
+"""Live path: run the unchanged protocol objects over real UDP sockets.
+
+The simulator exercises every congestion controller in simulated time;
+this package closes the gap to the paper's real-network evaluation by
+moving the *same* protocol instances onto localhost UDP datagrams:
+
+* :mod:`repro.live.wire` — versioned datagram serialisation of
+  :class:`~repro.netsim.packet.Packet`;
+* :mod:`repro.live.clock` — a wall-clock implementation of the
+  :class:`~repro.netsim.flow.Clock` scheduling interface on top of the
+  asyncio event loop;
+* :mod:`repro.live.host` — UDP endpoints adapting
+  ``SenderProtocol``/``ReceiverProtocol`` to socket I/O;
+* :mod:`repro.live.emulator` — a mahimahi-style userspace link emulator
+  whose delivery opportunities come from a replayed trace or a live
+  :class:`~repro.cellular.channel_model.ChannelStepper`;
+* :mod:`repro.live.session` — a driver that wires sender, emulator and
+  receiver together and returns the same
+  :class:`~repro.experiments.runner.ExperimentResult` shape the
+  simulator produces, so sim-vs-live comparisons are one function call.
+"""
+
+from .clock import WallClock, WallEvent
+from .emulator import EmulatorStats, LinkEmulator
+from .host import LiveHost
+from .session import LiveSessionError, run_live_session
+from .wire import (
+    WIRE_VERSION,
+    WireFormatError,
+    decode_packet,
+    encode_packet,
+    header_size,
+)
+
+__all__ = [
+    "EmulatorStats",
+    "LinkEmulator",
+    "LiveHost",
+    "LiveSessionError",
+    "WallClock",
+    "WallEvent",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "decode_packet",
+    "encode_packet",
+    "header_size",
+    "run_live_session",
+]

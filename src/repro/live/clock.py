@@ -1,0 +1,84 @@
+"""Wall-clock implementation of the :class:`~repro.netsim.flow.Clock`
+scheduling interface.
+
+Protocol endpoints only ever call ``clock.now`` and
+``clock.schedule(delay, fn, *args)`` (directly or through
+:class:`~repro.netsim.engine.PeriodicTimer`).  :class:`WallClock` maps
+those onto the asyncio event loop: ``now`` is the loop's monotonic time
+re-based to zero at construction — so live timestamps line up with
+trace timestamps and with simulated runs that also start at t=0 — and
+``schedule`` becomes ``loop.call_later`` wrapped in a cancellable
+handle with the same surface as a simulator :class:`Event`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional
+
+
+class WallEvent:
+    """Cancellable handle mirroring :class:`repro.netsim.engine.Event`."""
+
+    __slots__ = ("_handle", "_cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle):
+        self._handle = handle
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Safe to call repeatedly."""
+        self._cancelled = True
+        self._handle.cancel()
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled and not self._handle.cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<WallEvent {state}>"
+
+
+class WallClock:
+    """Asyncio-backed clock satisfying :class:`repro.netsim.flow.Clock`.
+
+    One instance is shared by every component of a live session (sender
+    host, emulator, receiver host) so all of them agree on what t=0
+    means.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None,
+                 origin: Optional[float] = None):
+        self.loop = loop if loop is not None else asyncio.get_event_loop()
+        self.origin = origin if origin is not None else self.loop.time()
+
+    @property
+    def now(self) -> float:
+        """Seconds of wall time since the session origin."""
+        return self.loop.time() - self.origin
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> WallEvent:
+        """Run ``callback(*args)`` after ``delay`` seconds of wall time.
+
+        Unlike the simulator, tiny negative delays are clamped to zero
+        instead of rejected: wall time keeps moving while protocol code
+        computes, so "schedule at the epoch boundary that just passed"
+        is an expected race, not a programming error.
+        """
+        return WallEvent(self.loop.call_later(max(0.0, delay), callback, *args))
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> WallEvent:
+        """Run ``callback(*args)`` at absolute session time ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    async def sleep_until(self, time: float) -> None:
+        """Coroutine: suspend until absolute session time ``time``."""
+        delay = time - self.now
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WallClock now={self.now:.6f}>"

@@ -1,0 +1,148 @@
+"""UDP endpoint hosting protocol objects — the live counterpart of the
+simulator's :class:`~repro.netsim.topology.Dumbbell` wiring.
+
+A :class:`LiveHost` owns one UDP socket and any number of protocol
+endpoints (all senders, or all receivers — one host per side of the
+path).  It adapts the two directions of the
+``attach(clock, tx)`` contract:
+
+* outbound: the transmit callable handed to each endpoint serialises
+  the packet with :mod:`repro.live.wire` and writes it to the socket;
+* inbound: every received datagram is parsed and demultiplexed by
+  ``flow_id`` to the owning endpoint — ACKs to ``sender.on_ack``, data
+  to ``receiver.on_data`` — exactly the routing
+  :class:`~repro.netsim.flow.Demux` performs inside the simulator.
+
+The protocol objects themselves are untouched: the same ``VerusSender``
+instance that runs inside :class:`~repro.netsim.engine.Simulator` runs
+here, scheduling its epoch timer on the shared :class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+from ..netsim.flow import ReceiverProtocol, SenderProtocol
+from ..netsim.packet import Packet
+from .clock import WallClock
+from .wire import WireFormatError, decode_packet, encode_packet
+
+Address = Tuple[str, int]
+
+
+class _DatagramBridge(asyncio.DatagramProtocol):
+    """Minimal asyncio glue: forwards datagrams to the host."""
+
+    def __init__(self, host: "LiveHost"):
+        self.host = host
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self.host._on_datagram(data, addr)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        self.host.socket_errors += 1
+
+
+class LiveHost:
+    """Hosts protocol endpoints on one UDP socket.
+
+    ``peer`` is where outbound packets go.  A sender host points at the
+    emulator's ingress; a receiver host usually passes ``peer=None`` and
+    learns the return address from the first datagram it receives (its
+    ACKs then flow back through whatever middlebox delivered the data,
+    mahimahi-style).
+    """
+
+    def __init__(self, clock: WallClock, peer: Optional[Address] = None,
+                 name: str = "host"):
+        self.clock = clock
+        self.name = name
+        self.peer = peer
+        self._learn_peer = peer is None
+        self.senders: Dict[int, SenderProtocol] = {}
+        self.receivers: Dict[int, ReceiverProtocol] = {}
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self.datagrams_in = 0
+        self.datagrams_out = 0
+        self.decode_errors = 0
+        self.unroutable = 0
+        self.socket_errors = 0
+
+    # ------------------------------------------------------------------
+    # Socket lifecycle
+    # ------------------------------------------------------------------
+    async def open(self, local_addr: Address = ("127.0.0.1", 0)) -> Address:
+        """Bind the UDP socket; returns the bound (host, port)."""
+        if self._transport is not None:
+            raise RuntimeError(f"{self.name}: socket already open")
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _DatagramBridge(self), local_addr=local_addr)
+        return self.local_addr
+
+    @property
+    def local_addr(self) -> Address:
+        if self._transport is None:
+            raise RuntimeError(f"{self.name}: socket not open")
+        return self._transport.get_extra_info("sockname")[:2]
+
+    def close(self) -> None:
+        for sender in self.senders.values():
+            if sender.running:
+                sender.stop()
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # ------------------------------------------------------------------
+    # Endpoint wiring
+    # ------------------------------------------------------------------
+    def add_sender(self, sender: SenderProtocol) -> None:
+        if sender.flow_id in self.senders:
+            raise ValueError(f"flow {sender.flow_id} already hosted")
+        sender.attach(self.clock, self._transmit)
+        self.senders[sender.flow_id] = sender
+
+    def add_receiver(self, receiver: ReceiverProtocol) -> None:
+        if receiver.flow_id in self.receivers:
+            raise ValueError(f"flow {receiver.flow_id} already hosted")
+        receiver.attach(self.clock, self._transmit)
+        self.receivers[receiver.flow_id] = receiver
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def _transmit(self, packet: Packet) -> None:
+        if self._transport is None:
+            raise RuntimeError(f"{self.name}: socket not open")
+        if self.peer is None:
+            raise RuntimeError(f"{self.name}: no peer address yet")
+        self._transport.sendto(encode_packet(packet), self.peer)
+        self.datagrams_out += 1
+
+    def _on_datagram(self, data: bytes, addr: Address) -> None:
+        self.datagrams_in += 1
+        try:
+            packet = decode_packet(data)
+        except WireFormatError:
+            self.decode_errors += 1
+            return
+        if self._learn_peer:
+            self.peer = addr
+        if packet.is_ack:
+            sender = self.senders.get(packet.flow_id)
+            if sender is None:
+                self.unroutable += 1
+                return
+            sender.on_ack(packet)
+        else:
+            receiver = self.receivers.get(packet.flow_id)
+            if receiver is None:
+                self.unroutable += 1
+                return
+            receiver.on_data(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LiveHost {self.name} in={self.datagrams_in} "
+                f"out={self.datagrams_out}>")

@@ -1,0 +1,145 @@
+"""Session driver: sender host + link emulator + receiver host, one call.
+
+``run_live_session`` is the live twin of
+:func:`repro.experiments.runner.run_trace_contention`: it takes the same
+declarative :class:`~repro.experiments.runner.FlowSpec` list, builds the
+same protocol endpoints through the same factory
+(:func:`~repro.experiments.runner.make_endpoints`), runs them over real
+localhost UDP datagrams through the :class:`LinkEmulator`, and returns
+the same :class:`~repro.experiments.runner.ExperimentResult` — so any
+analysis that consumes simulator results consumes live results
+unchanged, and sim-vs-live comparisons are two calls with shared
+arguments.
+
+Everything runs in one process on one asyncio loop: three logical
+actors (sender host, emulator, receiver host) on four UDP sockets.  A
+single shared :class:`WallClock` keeps timestamps comparable across
+actors, which is what lets the receiver compute one-way delays from the
+sender's ``sent_time`` stamps without clock synchronisation.
+
+Default delays mirror the simulator's §6.2 setup (``rtt=0.01``,
+``access_delay=0.005``): the emulator's downlink delay plays the role of
+forward access path + core-network delay (10 ms) and its uplink delay
+the reverse acknowledgement path (5 ms).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..experiments.runner import ExperimentResult, FlowSpec, make_endpoints
+from ..netsim.queues import DropTailQueue, REDQueue
+from .clock import WallClock
+from .emulator import LinkEmulator
+from .host import LiveHost
+
+
+class LiveSessionError(RuntimeError):
+    """Raised when a live session cannot be set up or run."""
+
+
+def run_live_session(specs: Sequence[FlowSpec],
+                     trace: Optional[np.ndarray] = None,
+                     stepper=None,
+                     duration: float = 10.0,
+                     downlink_delay: float = 0.010,
+                     uplink_delay: float = 0.005,
+                     use_red: bool = True,
+                     queue_bytes: Optional[int] = None,
+                     loss_rate: float = 0.0,
+                     warmup: float = 1.0,
+                     seed: int = 0,
+                     impairment_factory=None,
+                     host: str = "127.0.0.1") -> ExperimentResult:
+    """Run ``specs`` over real UDP through the link emulator.
+
+    Parameters mirror :func:`~repro.experiments.runner.run_trace_contention`
+    where they overlap.  ``impairment_factory``, if given, is called with
+    the session's :class:`WallClock` and must return an impairment link
+    (e.g. ``lambda clock: JitterLink(clock, 0.0, 0.004)``) inserted on
+    the downlink.
+
+    ``duration`` is *wall-clock* seconds: a 10-second session takes ten
+    real seconds.
+
+    Raises :class:`LiveSessionError` when UDP sockets are unavailable
+    (sandboxes without network namespaces).
+    """
+    if (trace is None) == (stepper is None):
+        raise ValueError("provide exactly one of trace or stepper")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    specs = list(specs)
+    if not specs:
+        raise ValueError("at least one flow spec is required")
+
+    try:
+        return asyncio.run(_session(
+            specs, trace, stepper, duration, downlink_delay, uplink_delay,
+            use_red, queue_bytes, loss_rate, warmup, seed,
+            impairment_factory, host))
+    except OSError as exc:
+        raise LiveSessionError(
+            f"cannot run a live UDP session here: {exc}") from exc
+
+
+async def _session(specs, trace, stepper, duration, downlink_delay,
+                   uplink_delay, use_red, queue_bytes, loss_rate, warmup,
+                   seed, impairment_factory, host) -> ExperimentResult:
+    loop = asyncio.get_running_loop()
+    clock = WallClock(loop)
+    rng = np.random.default_rng(seed)
+    if use_red:
+        queue = REDQueue.paper_config(rng=rng)
+    else:
+        queue = DropTailQueue(capacity_bytes=queue_bytes)
+    impairment = (impairment_factory(clock)
+                  if impairment_factory is not None else None)
+
+    emulator = LinkEmulator(
+        clock, trace=trace, stepper=stepper, queue=queue,
+        downlink_delay=downlink_delay, uplink_delay=uplink_delay,
+        loss_rate=loss_rate, rng=rng, impairment=impairment)
+    receiver_host = LiveHost(clock, name="receiver-host")
+    sender_host = LiveHost(clock, name="sender-host")
+
+    senders, receivers = [], []
+    try:
+        await emulator.open(host)
+        receiver_addr = await receiver_host.open((host, 0))
+        sender_host.peer = emulator.ingress_addr
+        await sender_host.open((host, 0))
+
+        for flow_id, spec in enumerate(specs):
+            sender, receiver = make_endpoints(spec, flow_id)
+            sender_host.add_sender(sender)
+            receiver_host.add_receiver(receiver)
+            senders.append(sender)
+            receivers.append(receiver)
+
+        emulator.start(receiver=receiver_addr)
+        for spec, sender in zip(specs, senders):
+            clock.schedule(max(0.0, spec.start_at), sender.start)
+
+        await clock.sleep_until(duration)
+        for sender in senders:
+            if sender.running:
+                sender.stop()
+        # Grace period: let in-flight datagrams and final ACKs drain so
+        # receiver-side statistics include the tail of the session.
+        await asyncio.sleep(min(0.25, 2 * (downlink_delay + uplink_delay)
+                                 + 0.05))
+    finally:
+        emulator.close()
+        sender_host.close()
+        receiver_host.close()
+        # Give the transports a loop iteration to tear down cleanly.
+        await asyncio.sleep(0)
+
+    result = ExperimentResult(specs, senders, receivers, duration, warmup)
+    result.emulator_stats = emulator.stats
+    result.wall_clock = clock
+    return result

@@ -1,0 +1,121 @@
+"""Versioned wire format: ``Packet`` <-> UDP datagram.
+
+The format is deliberately dumb: one fixed-size big-endian header
+carrying exactly the :class:`~repro.netsim.packet.Packet` fields the
+protocols consume, an optional JSON blob for the free-form ``payload``
+slot (Sprout forecasts, aggregated-ACK batches), and zero padding up to
+the packet's declared wire size so a DATA datagram occupies as many
+bytes on the loopback as its simulated counterpart claims to.
+
+Versioning: the first five bytes are a magic tag plus a version number.
+Decoders reject unknown magics outright and refuse versions newer than
+they understand, so a future v2 sender fails loudly against a v1
+receiver instead of silently mis-parsing.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+from ..netsim.packet import Packet
+
+#: Magic tag opening every datagram.
+WIRE_MAGIC = b"VRS!"
+#: Current wire format version.
+WIRE_VERSION = 1
+
+#: Largest payload a UDP datagram can carry; datagrams are never padded
+#: beyond this.
+MAX_DATAGRAM = 65507
+
+_FLAG_ACK = 1 << 0
+_FLAG_RETRANSMISSION = 1 << 1
+_FLAG_ECN = 1 << 2
+_FLAG_PAYLOAD = 1 << 3
+
+# magic, version, flags, flow_id, seq, ack_seq, sent_time,
+# echo_sent_time, window_at_send, size, payload_len
+_HEADER = struct.Struct("!4sBBHqqdddIH")
+
+
+class WireFormatError(ValueError):
+    """Raised when a datagram cannot be parsed as a protocol packet."""
+
+
+def header_size() -> int:
+    """Size in bytes of the fixed packet header."""
+    return _HEADER.size
+
+
+def encode_packet(packet: Packet) -> bytes:
+    """Serialise ``packet`` into a datagram.
+
+    The datagram is padded with zeros up to ``packet.size`` (the size the
+    protocols account with) so live throughput numbers measure real bytes
+    moved.  Packets whose declared size is smaller than the header — bare
+    40-byte ACKs — are sent unpadded; their declared size still travels
+    in the header and is what the receiving side records.
+    """
+    flags = 0
+    if packet.is_ack:
+        flags |= _FLAG_ACK
+    if packet.retransmission:
+        flags |= _FLAG_RETRANSMISSION
+    if packet.ecn:
+        flags |= _FLAG_ECN
+    payload = b""
+    if packet.payload is not None:
+        flags |= _FLAG_PAYLOAD
+        payload = json.dumps(packet.payload, separators=(",", ":")).encode()
+        if len(payload) > MAX_DATAGRAM - _HEADER.size:
+            raise WireFormatError(
+                f"payload of {len(payload)} bytes does not fit a datagram")
+    header = _HEADER.pack(
+        WIRE_MAGIC, WIRE_VERSION, flags,
+        packet.flow_id & 0xFFFF, packet.seq, packet.ack_seq,
+        packet.sent_time, packet.echo_sent_time, packet.window_at_send,
+        packet.size, len(payload))
+    datagram = header + payload
+    target = min(packet.size, MAX_DATAGRAM)
+    if len(datagram) < target:
+        datagram += b"\x00" * (target - len(datagram))
+    return datagram
+
+
+def decode_packet(data: bytes) -> Packet:
+    """Parse a datagram produced by :func:`encode_packet`."""
+    if len(data) < _HEADER.size:
+        raise WireFormatError(
+            f"datagram of {len(data)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header")
+    (magic, version, flags, flow_id, seq, ack_seq, sent_time,
+     echo_sent_time, window_at_send, size, payload_len) = _HEADER.unpack_from(data)
+    if magic != WIRE_MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}")
+    if version > WIRE_VERSION:
+        raise WireFormatError(
+            f"wire version {version} is newer than supported ({WIRE_VERSION})")
+    payload: Optional[dict] = None
+    if flags & _FLAG_PAYLOAD:
+        raw = data[_HEADER.size:_HEADER.size + payload_len]
+        if len(raw) < payload_len:
+            raise WireFormatError("truncated payload")
+        try:
+            payload = json.loads(raw.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireFormatError(f"bad payload: {exc}") from exc
+    return Packet(
+        flow_id=flow_id,
+        seq=seq,
+        size=size,
+        sent_time=sent_time,
+        is_ack=bool(flags & _FLAG_ACK),
+        ack_seq=ack_seq,
+        echo_sent_time=echo_sent_time,
+        window_at_send=window_at_send,
+        retransmission=bool(flags & _FLAG_RETRANSMISSION),
+        ecn=bool(flags & _FLAG_ECN),
+        payload=payload,
+    )

@@ -9,7 +9,7 @@ topology wiring.
 
 from .engine import Event, PeriodicTimer, SimulationError, Simulator
 from .fair_queue import DRRQueue
-from .flow import Demux, ReceiverProtocol, SenderProtocol
+from .flow import Clock, Demux, EventHandle, ReceiverProtocol, SenderProtocol
 from .impairments import DuplicatingLink, JitterLink, ReorderingLink
 from .link import DelayLine, Link, LinkPhase, LinkSchedule, VariableLink
 from .packet import ACK_BYTES, MTU_BYTES, Packet
@@ -20,6 +20,7 @@ from .tracing import FlowTracer, PacketTap, TapRecord
 
 __all__ = [
     "ACK_BYTES",
+    "Clock",
     "CoDelQueue",
     "DelayLine",
     "Demux",
@@ -29,6 +30,7 @@ __all__ = [
     "Dumbbell",
     "DuplicatingLink",
     "Event",
+    "EventHandle",
     "FlowTracer",
     "JitterLink",
     "ReorderingLink",

@@ -163,14 +163,17 @@ class Simulator:
 
 
 class PeriodicTimer:
-    """Repeating timer built on a :class:`Simulator`.
+    """Repeating timer built on any :class:`~repro.netsim.flow.Clock`.
 
     Fires ``callback()`` every ``interval`` seconds until :meth:`stop`.
     The first firing occurs ``interval`` seconds after :meth:`start`
-    (or immediately if ``fire_now`` is set).
+    (or immediately if ``fire_now`` is set).  Only ``sim.schedule`` is
+    used, so the timer runs unchanged on the discrete-event
+    :class:`Simulator` and on the wall-clock scheduler of
+    :mod:`repro.live`.
     """
 
-    def __init__(self, sim: Simulator, interval: float, callback: Callable[[], Any]):
+    def __init__(self, sim, interval: float, callback: Callable[[], Any]):
         if interval <= 0:
             raise SimulationError(f"timer interval must be positive (got {interval})")
         self.sim = sim

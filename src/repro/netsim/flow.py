@@ -2,19 +2,58 @@
 
 Every congestion controller in this repository (Verus, TCP variants, Sprout)
 implements the small :class:`SenderProtocol` interface; every receiver
-implements :class:`ReceiverProtocol`.  Endpoints are attached to a simulator
-and a transmit callable, so the same protocol code runs unchanged over fixed
-links, trace-driven cellular links, and schedule-driven variable links.
+implements :class:`ReceiverProtocol`.  Endpoints are attached to a *clock*
+(anything satisfying :class:`Clock`) and a transmit callable, so the same
+protocol code runs unchanged over fixed links, trace-driven cellular links,
+schedule-driven variable links — and, via :mod:`repro.live`, over real UDP
+sockets driven by wall-clock timers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .engine import Simulator
+try:  # pragma: no cover - Protocol is 3.8+; fall back for exotic installs
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
 from .packet import Packet
 
 Transmit = Callable[[Packet], None]
+
+
+@runtime_checkable
+class EventHandle(Protocol):
+    """Cancellable handle returned by :meth:`Clock.schedule`."""
+
+    def cancel(self) -> None: ...
+
+    @property
+    def active(self) -> bool: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The scheduling surface protocol endpoints depend on.
+
+    :class:`~repro.netsim.engine.Simulator` implements it with simulated
+    time; :class:`repro.live.clock.WallClock` implements it with asyncio
+    wall-clock timers.  Protocol code must only ever touch ``now`` and
+    ``schedule`` (plus :class:`~repro.netsim.engine.PeriodicTimer`, which
+    itself only uses these two), never simulator-only APIs such as
+    ``run``/``step`` — that is what keeps one protocol implementation
+    valid on both substrates.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> EventHandle: ...
 
 
 class SenderProtocol:
@@ -27,7 +66,7 @@ class SenderProtocol:
 
     def __init__(self, flow_id: int):
         self.flow_id = flow_id
-        self.sim: Optional[Simulator] = None
+        self.sim: Optional[Clock] = None
         self._tx: Optional[Transmit] = None
         self.running = False
         self.packets_sent = 0
@@ -36,7 +75,7 @@ class SenderProtocol:
         self.stop_time: Optional[float] = None
 
     # -- wiring --------------------------------------------------------
-    def attach(self, sim: Simulator, tx: Transmit) -> None:
+    def attach(self, sim: Clock, tx: Transmit) -> None:
         self.sim = sim
         self._tx = tx
 
@@ -80,14 +119,14 @@ class ReceiverProtocol:
 
     def __init__(self, flow_id: int):
         self.flow_id = flow_id
-        self.sim: Optional[Simulator] = None
+        self.sim: Optional[Clock] = None
         self._tx: Optional[Transmit] = None
         self.packets_received = 0
         self.bytes_received = 0
         self.deliveries: List[Tuple[float, int, float, int]] = []
         self.record = True
 
-    def attach(self, sim: Simulator, tx: Transmit) -> None:
+    def attach(self, sim: Clock, tx: Transmit) -> None:
         self.sim = sim
         self._tx = tx
 

@@ -39,7 +39,17 @@ class TapRecord:
 
 
 class PacketTap:
-    """Transparent observation point in front of any destination."""
+    """Transparent observation point in front of any destination.
+
+    Records are stamped with ``clock()`` — pass ``lambda: sim.now`` (or a
+    live :class:`~repro.live.clock.WallClock`'s ``now``) so the stamp is
+    the *observation* time.  Without a clock the tap falls back to the
+    packet's ``sent_time``, clamped to be non-decreasing in arrival
+    order: a raw ``sent_time`` fallback would stamp ACKs with their
+    creation time and retransmissions with their refreshed send time,
+    placing them before earlier-observed events and misordering exported
+    timelines.
+    """
 
     def __init__(self, point: str, dst: Optional[Destination] = None,
                  clock: Optional[Callable[[], float]] = None,
@@ -52,9 +62,15 @@ class PacketTap:
         self.max_records = max_records
         self.records: List[TapRecord] = []
         self.dropped_records = 0
+        self._last_time = float("-inf")
 
     def __call__(self, packet: Packet) -> None:
-        now = self.clock() if self.clock is not None else packet.sent_time
+        if self.clock is not None:
+            now = self.clock()
+        else:
+            # Monotone fallback: observation order defines the timeline.
+            now = max(packet.sent_time, self._last_time)
+        self._last_time = now
         if self.max_records is None or len(self.records) < self.max_records:
             self.records.append(TapRecord(
                 time=now, point=self.point, flow_id=packet.flow_id,
@@ -76,10 +92,17 @@ class PacketTap:
 
 
 class FlowTracer:
-    """Collects taps and reconstructs per-packet timelines."""
+    """Collects taps and reconstructs per-packet timelines.
 
-    def __init__(self) -> None:
+    ``clock`` is the default observation clock handed to every tap
+    created through :meth:`tap`; per-tap clocks override it.  Give the
+    tracer the experiment's clock once (``FlowTracer(lambda: sim.now)``)
+    instead of repeating it at every tap site.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self.taps: Dict[str, PacketTap] = {}
+        self.clock = clock
 
     def tap(self, point: str, dst: Optional[Destination] = None,
             clock: Optional[Callable[[], float]] = None,
@@ -87,7 +110,8 @@ class FlowTracer:
         """Create and register a tap; insert its return value as ``dst``."""
         if point in self.taps:
             raise ValueError(f"tap {point!r} already registered")
-        created = PacketTap(point, dst=dst, clock=clock,
+        created = PacketTap(point, dst=dst,
+                            clock=clock if clock is not None else self.clock,
                             max_records=max_records)
         self.taps[point] = created
         return created
@@ -120,12 +144,35 @@ class FlowTracer:
                 return record
         return None
 
+    def _sorted_records(self) -> List[TapRecord]:
+        return sorted(
+            (record for tap in self.taps.values() for record in tap.records),
+            key=lambda r: (r.time, r.point))
+
     def export(self, path) -> int:
         """Write all records, time-ordered, to a text file.  Returns the
         number of lines written."""
-        records = sorted(
-            (record for tap in self.taps.values() for record in tap.records),
-            key=lambda r: (r.time, r.point))
+        records = self._sorted_records()
         text = "\n".join(record.line() for record in records)
         Path(path).write_text(text + ("\n" if text else ""))
+        return len(records)
+
+    def export_jsonl(self, path) -> int:
+        """Machine-readable export: one JSON object per record, time-ordered.
+
+        The same records as :meth:`export`, but diffable and
+        post-processable without parsing the human-oriented text format —
+        the intended interchange for live-path traces.  Returns the number
+        of lines written.
+        """
+        import json
+
+        records = self._sorted_records()
+        with open(path, "w") as fh:
+            for r in records:
+                fh.write(json.dumps({
+                    "time": r.time, "point": r.point, "flow_id": r.flow_id,
+                    "seq": r.seq, "size": r.size, "is_ack": r.is_ack,
+                    "retransmission": r.retransmission,
+                }, separators=(",", ":")) + "\n")
         return len(records)

@@ -53,3 +53,24 @@ class TestCommands:
     def test_run_fig13_prints_jain(self, capsys):
         assert main(["run", "fig13", "--duration", "30"]) == 0
         assert "Jain index" in capsys.readouterr().out
+
+
+class TestSeedFlag:
+    def test_run_seed_reproducible_from_shell(self, capsys):
+        assert main(["run", "fig2", "--duration", "20", "--seed", "123"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "fig2", "--duration", "20", "--seed", "123"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_seed_changes_channel(self, capsys):
+        assert main(["run", "fig2", "--duration", "20", "--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "fig2", "--duration", "20", "--seed", "2"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_quickstart_accepts_seed(self, capsys):
+        assert main(["quickstart", "--duration", "10", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert "verus" in first
+        assert main(["quickstart", "--duration", "10", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first

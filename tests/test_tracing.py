@@ -47,6 +47,24 @@ class TestPacketTap:
         with pytest.raises(ValueError):
             PacketTap("")
 
+    def test_clock_fallback_is_monotone(self):
+        """Regression: without a clock, ACK/retransmission events must not
+        travel back in time in the exported timeline.
+
+        An ACK's ``sent_time`` is its creation time at the receiver and a
+        retransmission's ``sent_time`` is refreshed at resend; stamping
+        records with raw ``sent_time`` used to misorder them relative to
+        events observed earlier at the same tap.
+        """
+        tap = PacketTap("x")
+        tap(Packet(flow_id=0, seq=0, sent_time=5.0))
+        # ACK created earlier than the previously observed event.
+        tap(Packet(flow_id=0, seq=1, sent_time=2.0, is_ack=True))
+        tap(Packet(flow_id=0, seq=2, sent_time=3.0, retransmission=True))
+        times = [r.time for r in tap.records]
+        assert times == sorted(times)
+        assert times[0] == 5.0 and times[1] >= 5.0 and times[2] >= times[1]
+
     def test_record_line_format(self):
         tap = PacketTap("sender-out", clock=lambda: 0.00123)
         tap(Packet(flow_id=3, seq=9, size=1400, retransmission=True))
@@ -94,6 +112,32 @@ class TestFlowTracer:
         written = tracer.export(out)
         assert written == 3
         assert len(out.read_text().splitlines()) == 3
+
+    def test_tracer_default_clock_inherited_by_taps(self):
+        sim = Simulator()
+        tracer = FlowTracer(clock=lambda: sim.now)
+        tap = tracer.tap("a")
+        sim.now = 7.5
+        tap(Packet(flow_id=0, seq=0, sent_time=1.0))
+        assert tap.records[0].time == 7.5
+
+    def test_export_jsonl_roundtrip(self, tmp_path):
+        import json
+
+        tracer = FlowTracer()
+        tap = tracer.tap("a", clock=lambda: 0.25)
+        tap(Packet(flow_id=1, seq=4, size=1400))
+        tap(Packet(flow_id=1, seq=4, size=40, is_ack=True))
+        out = tmp_path / "trace.jsonl"
+        written = tracer.export_jsonl(out)
+        assert written == 2
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert rows[0] == {"time": 0.25, "point": "a", "flow_id": 1,
+                           "seq": 4, "size": 1400, "is_ack": False,
+                           "retransmission": False}
+        assert rows[1]["is_ack"] is True
+        # JSONL is time-ordered like the text export.
+        assert [r["time"] for r in rows] == sorted(r["time"] for r in rows)
 
     def test_traces_a_live_verus_flow(self):
         """Taps around a Verus flow expose queueing delay per packet."""
