@@ -1,0 +1,91 @@
+"""Merge per-cell campaign results into the tables the paper reports.
+
+Each grid cell's stored summary is rehydrated into
+:class:`~repro.metrics.FlowStats` objects and reduced with the same
+:func:`~repro.metrics.aggregate_stats` the experiments layer uses, then
+seeds of the same cell are averaged with a normal-approximation 95%
+confidence interval.  Aggregation is pure and processes outcomes in
+grid order, so the emitted rows are byte-identical whether the campaign
+ran serially or on a pool.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..experiments.runner import summary_stats
+from ..metrics import aggregate_stats
+from .executor import TaskOutcome
+from .spec import TaskSpec
+
+#: z-score for a two-sided 95% interval.
+Z95 = 1.96
+
+
+def mean_ci(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and 95% CI half-width (0.0 for a single observation)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return float("nan"), float("nan")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    half = float(Z95 * arr.std(ddof=1) / math.sqrt(arr.size))
+    return mean, half
+
+
+def aggregate_campaign(tasks: Sequence[TaskSpec],
+                       outcomes: Sequence[TaskOutcome]) -> List[dict]:
+    """Reduce per-task outcomes into one row per grid cell (seeds merged).
+
+    Failed cells still appear — with their failure count and NaN metrics
+    when no seed succeeded — so a report never silently drops a
+    configuration.
+    """
+    groups: Dict[tuple, dict] = {}
+    order: List[tuple] = []
+    for task, outcome in zip(tasks, outcomes):
+        cell = (task.scenario, task.protocol, task.label, task.flows)
+        if cell not in groups:
+            groups[cell] = {"throughputs": [], "delays": [], "failures": 0,
+                            "seeds": 0}
+            order.append(cell)
+        bucket = groups[cell]
+        bucket["seeds"] += 1
+        if not outcome.ok:
+            bucket["failures"] += 1
+            continue
+        agg = aggregate_stats(summary_stats(outcome.result))
+        bucket["throughputs"].append(agg["mean_throughput_mbps"])
+        bucket["delays"].append(agg["mean_delay_ms"])
+
+    rows: List[dict] = []
+    for cell in order:
+        scenario, protocol, label, flows = cell
+        bucket = groups[cell]
+        tput, tput_ci = mean_ci(bucket["throughputs"])
+        delay, delay_ci = mean_ci(bucket["delays"])
+        rows.append({
+            "scenario": scenario,
+            "protocol": protocol,
+            "label": label,
+            "flows": flows,
+            "seeds": bucket["seeds"],
+            "failures": bucket["failures"],
+            "mean_throughput_mbps": tput,
+            "ci95_throughput_mbps": tput_ci,
+            "mean_delay_ms": delay,
+            "ci95_delay_ms": delay_ci,
+        })
+    return rows
+
+
+def rows_as_json(rows: List[dict]) -> str:
+    """Canonical serialization of aggregated rows — the artefact the
+    determinism guarantee (serial == parallel, byte for byte) is stated
+    over."""
+    import json
+    return json.dumps(rows, sort_keys=True, indent=1, allow_nan=True)

@@ -1,0 +1,350 @@
+"""Campaign execution: a crash-isolated process pool with caching.
+
+:func:`run_tasks` is the generic engine — it takes picklable payloads
+plus a module-level task function and returns one :class:`TaskOutcome`
+per payload, in input order, regardless of completion order.  On top of
+it, :func:`run_campaign` wires in the sweep-specific pieces: task
+hashing, the :class:`~repro.campaign.store.ResultStore`, and the
+simulation task function.
+
+Failure semantics
+-----------------
+* **Worker exception** — the task is retried up to ``retries`` times
+  with linear backoff, then marked ``failed`` with the repr of the last
+  exception.  Other tasks are unaffected.
+* **Worker death** (segfault, OOM-kill, ``os._exit``) — Python's
+  :class:`~concurrent.futures.ProcessPoolExecutor` poisons the whole
+  pool when a worker dies.  The engine catches the broken pool, rebuilds
+  it, and requeues every in-flight task with one attempt consumed, so a
+  deterministically-crashing cell exhausts its retries and is marked
+  failed while its innocent neighbours complete on the fresh pool.
+* **Timeout** — enforced in pooled mode only (a serial in-process run
+  cannot preempt itself).  In-flight occupancy is capped at ``jobs`` so
+  every submitted task starts immediately and the deadline can be
+  measured from submission.  A timed-out future is abandoned (its late
+  result, if any, is discarded) and the cell is marked ``timeout``
+  without retry — a deterministic hang would only burn workers again.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .spec import CampaignSpec, TaskSpec, run_simulation_task
+from .store import ResultStore
+
+ProgressFn = Callable[["TaskOutcome", int, int], None]
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task."""
+
+    index: int
+    key: Optional[str] = None
+    status: str = "failed"          # ok | cached | failed | timeout
+    result: Any = None
+    error: Optional[str] = None
+    attempts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class ExecutorStats:
+    """Aggregate accounting for one engine run."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    pool_restarts: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class RunResult:
+    """Outcomes (in input order) plus run accounting."""
+
+    outcomes: List[TaskOutcome]
+    stats: ExecutorStats
+
+    @property
+    def all_ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+
+@dataclass
+class _InFlight:
+    index: int
+    attempts: int
+    submitted: float
+    deadline: Optional[float]
+
+
+def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
+              jobs: int = 1, timeout: Optional[float] = None,
+              retries: int = 1, backoff: float = 0.25,
+              store: Optional[ResultStore] = None,
+              keys: Optional[Sequence[Optional[str]]] = None,
+              resume: bool = True,
+              progress: Optional[ProgressFn] = None) -> RunResult:
+    """Run ``task_fn`` over ``payloads`` and return per-task outcomes.
+
+    ``task_fn`` must be a module-level callable (picklable) when
+    ``jobs > 1``.  When ``store`` and ``keys`` are given, tasks whose key
+    is already stored are returned as ``cached`` without executing
+    (unless ``resume`` is False), and fresh successes are persisted —
+    their results must then be JSON-serializable.
+    """
+    n = len(payloads)
+    if keys is None:
+        keys = [None] * n
+    if len(keys) != n:
+        raise ValueError("keys must match payloads in length")
+    stats = ExecutorStats(total=n)
+    outcomes: List[Optional[TaskOutcome]] = [None] * n
+    done_count = 0
+
+    def finish(outcome: TaskOutcome) -> None:
+        nonlocal done_count
+        outcomes[outcome.index] = outcome
+        done_count += 1
+        if outcome.status == "cached":
+            stats.cached += 1
+        elif outcome.status == "timeout":
+            stats.timeouts += 1
+        elif outcome.status == "failed":
+            stats.failed += 1
+        else:
+            stats.executed += 1
+        if outcome.ok and outcome.status == "ok" and store is not None \
+                and outcome.key is not None:
+            task_dict = payloads[outcome.index]
+            if not isinstance(task_dict, dict):
+                task_dict = {"payload": repr(task_dict)}
+            store.put(outcome.key, task_dict, outcome.result,
+                      seconds=outcome.seconds)
+        if progress is not None:
+            progress(outcome, done_count, n)
+
+    pending = deque()
+    for index in range(n):
+        key = keys[index]
+        if resume and store is not None and key is not None:
+            record = store.get(key)
+            if record is not None:
+                finish(TaskOutcome(index=index, key=key, status="cached",
+                                   result=record["result"]))
+                continue
+        pending.append((index, 0))
+
+    if not pending:
+        return RunResult([o for o in outcomes if o is not None], stats)
+
+    if jobs <= 1:
+        _run_serial(pending, payloads, keys, task_fn, retries, backoff,
+                    stats, finish)
+    else:
+        _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
+                  backoff, stats, finish)
+    return RunResult([o for o in outcomes if o is not None], stats)
+
+
+def _run_serial(pending, payloads, keys, task_fn, retries, backoff,
+                stats, finish) -> None:
+    while pending:
+        index, attempts = pending.popleft()
+        started = time.monotonic()
+        try:
+            result = task_fn(payloads[index])
+        except Exception as exc:
+            if attempts < retries:
+                stats.retries += 1
+                time.sleep(backoff * (attempts + 1))
+                pending.appendleft((index, attempts + 1))
+                continue
+            finish(TaskOutcome(index=index, key=keys[index], status="failed",
+                               error=repr(exc), attempts=attempts + 1,
+                               seconds=time.monotonic() - started))
+            continue
+        finish(TaskOutcome(index=index, key=keys[index], status="ok",
+                           result=result, attempts=attempts + 1,
+                           seconds=time.monotonic() - started))
+
+
+def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
+              backoff, stats, finish) -> None:
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    inflight: Dict[Any, _InFlight] = {}
+    abandoned = 0   # timed-out futures whose workers are still busy
+    freed: deque = deque()   # signalled (thread-safe) when one finishes late
+    try:
+        while pending or inflight:
+            while freed:
+                freed.popleft()
+                abandoned = max(0, abandoned - 1)
+            # In-flight is capped at the worker count (minus any workers
+            # still burning on abandoned tasks), so a submitted task
+            # starts at once and its deadline runs from submission.
+            while pending and len(inflight) + abandoned < jobs:
+                index, attempts = pending.popleft()
+                now = time.monotonic()
+                future = pool.submit(task_fn, payloads[index])
+                inflight[future] = _InFlight(
+                    index=index, attempts=attempts, submitted=now,
+                    deadline=None if timeout is None else now + timeout)
+            if not inflight:
+                # Every worker is burning on an abandoned task; idle
+                # until one frees up rather than busy-spinning.
+                time.sleep(0.02)
+                continue
+            done, _ = wait(list(inflight), timeout=0.05,
+                           return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for future in done:
+                info = inflight.pop(future)
+                elapsed = time.monotonic() - info.submitted
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    _requeue_or_fail(info, pending, keys, retries, stats,
+                                     finish, elapsed, "worker process died")
+                except CancelledError:
+                    # Only reachable when a breaking pool cancelled queued
+                    # siblings; treat like any other casualty.
+                    _requeue_or_fail(info, pending, keys, retries, stats,
+                                     finish, elapsed, "cancelled by pool")
+                except Exception as exc:
+                    if info.attempts < retries:
+                        stats.retries += 1
+                        time.sleep(backoff * (info.attempts + 1))
+                        pending.append((info.index, info.attempts + 1))
+                    else:
+                        finish(TaskOutcome(
+                            index=info.index, key=keys[info.index],
+                            status="failed", error=repr(exc),
+                            attempts=info.attempts + 1, seconds=elapsed))
+                else:
+                    finish(TaskOutcome(
+                        index=info.index, key=keys[info.index], status="ok",
+                        result=result, attempts=info.attempts + 1,
+                        seconds=elapsed))
+            if pool_broken:
+                # Every sibling in flight is poisoned too: requeue them
+                # (consuming an attempt — one of them is the killer) and
+                # rebuild the pool.
+                for future, info in list(inflight.items()):
+                    _requeue_or_fail(info, pending, keys, retries, stats,
+                                     finish, time.monotonic() - info.submitted,
+                                     "worker process died")
+                inflight.clear()
+                abandoned = 0
+                stats.pool_restarts += 1
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=jobs)
+                continue
+            if timeout is not None:
+                now = time.monotonic()
+                for future, info in list(inflight.items()):
+                    if info.deadline is not None and now > info.deadline \
+                            and not future.cancel():
+                        # Still running: abandon it. The worker frees up
+                        # whenever the task eventually returns; its late
+                        # result is discarded with the future.
+                        del inflight[future]
+                        abandoned += 1
+                        future.add_done_callback(
+                            lambda f, q=freed: (_noteless(f), q.append(1)))
+                        finish(TaskOutcome(
+                            index=info.index, key=keys[info.index],
+                            status="timeout",
+                            error=f"timed out after {timeout:g}s",
+                            attempts=info.attempts + 1,
+                            seconds=now - info.submitted))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _requeue_or_fail(info: _InFlight, pending, keys, retries, stats,
+                     finish, elapsed: float, reason: str) -> None:
+    if info.attempts < retries:
+        stats.retries += 1
+        pending.append((info.index, info.attempts + 1))
+    else:
+        finish(TaskOutcome(index=info.index, key=keys[info.index],
+                           status="failed", error=reason,
+                           attempts=info.attempts + 1, seconds=elapsed))
+
+
+def _noteless(future) -> None:
+    """Swallow the late result/exception of an abandoned future."""
+    try:
+        future.exception()
+    except Exception:
+        pass
+
+
+@dataclass
+class CampaignResult:
+    """Everything a sweep produced: the expanded grid, per-task
+    outcomes, engine accounting, and (if used) the store."""
+
+    tasks: List[TaskSpec]
+    outcomes: List[TaskOutcome]
+    stats: ExecutorStats
+    store: Optional[ResultStore] = None
+
+    @property
+    def all_ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def summaries(self) -> List[Optional[dict]]:
+        """Per-task result summaries (None where a task failed)."""
+        return [o.result if o.ok else None for o in self.outcomes]
+
+
+def run_campaign(spec, *, jobs: int = 1,
+                 store: Optional[ResultStore] = None,
+                 cache_dir: Optional[str] = None,
+                 resume: bool = True,
+                 timeout: Optional[float] = None,
+                 retries: int = 1, backoff: float = 0.25,
+                 progress: Optional[ProgressFn] = None) -> CampaignResult:
+    """Expand a :class:`CampaignSpec` (or take a pre-expanded task list)
+    and run every cell through the engine.
+
+    With neither ``store`` nor ``cache_dir`` the sweep runs uncached;
+    passing ``cache_dir`` creates a :class:`ResultStore` there.
+    """
+    if isinstance(spec, CampaignSpec):
+        tasks = spec.expand()
+    else:
+        tasks = list(spec)
+    if store is None and cache_dir is not None:
+        store = ResultStore(cache_dir)
+    run = run_tasks([t.to_dict() for t in tasks], run_simulation_task,
+                    jobs=jobs, timeout=timeout, retries=retries,
+                    backoff=backoff, store=store,
+                    keys=[t.key() for t in tasks], resume=resume,
+                    progress=progress)
+    return CampaignResult(tasks=tasks, outcomes=run.outcomes,
+                          stats=run.stats, store=store)

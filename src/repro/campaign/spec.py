@@ -1,0 +1,217 @@
+"""Declarative campaign grids: scenario × protocol × flows × overrides × seeds.
+
+A :class:`CampaignSpec` describes the whole sweep; :meth:`CampaignSpec.expand`
+turns it into one :class:`TaskSpec` per grid cell.  Each task is
+
+* **individually hashable** — :meth:`TaskSpec.key` canonicalises the spec
+  (sorted-key JSON plus the repro version) and hashes it with SHA-256, so the
+  result store can address cached cells by content; and
+* **deterministically seeded** — per-task seeds are derived with
+  ``numpy.random.SeedSequence(base_seed).spawn(n)``, indexed by the task's
+  position in the expanded grid.  The seed depends only on the grid cell,
+  never on execution order, so a ``--jobs 8`` run is bit-identical to a
+  serial one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import __version__ as REPRO_VERSION
+from ..cellular import SCENARIO_NAMES
+from ..experiments.runner import PROTOCOL_NAMES
+
+#: Options applied to every flow of a protocol unless an override names the
+#: same key.  Mirrors the ``r=2.0`` default the experiments layer uses for
+#: Verus throughout.
+DEFAULT_PROTOCOL_OPTIONS: Dict[str, dict] = {"verus": {"r": 2.0}}
+
+
+def _canonical_json(payload: dict) -> str:
+    """Deterministic JSON used for hashing: sorted keys, no whitespace
+    drift, floats via repr (shortest round-trip form in py>=3.1)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One fully-resolved grid cell: a single simulation to run.
+
+    ``seed`` is the resolved per-task seed (already derived from the
+    campaign's base seed); ``seed_index`` records which repetition this
+    cell is, so aggregation can report "mean of N seeds".
+    """
+
+    scenario: str
+    protocol: str
+    flows: int
+    duration: float
+    seed: int
+    seed_index: int = 0
+    technology: str = "3g"
+    cell_rate_bps: Optional[float] = None
+    rtt: float = 0.01
+    warmup: float = 5.0
+    label: str = ""
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_NAMES:
+            raise ValueError(f"unknown protocol {self.protocol!r}; "
+                             f"choose from {PROTOCOL_NAMES}")
+        if self.scenario not in SCENARIO_NAMES:
+            raise ValueError(f"unknown scenario {self.scenario!r}; "
+                             f"choose from {SCENARIO_NAMES}")
+        if self.flows < 1:
+            raise ValueError("flows must be at least 1")
+        if not self.label:
+            object.__setattr__(self, "label", self.protocol)
+        if isinstance(self.options, dict):
+            object.__setattr__(self, "options",
+                               tuple(sorted(self.options.items())))
+
+    def options_dict(self) -> dict:
+        return dict(self.options)
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload; also the canonical form used for hashing."""
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "flows": self.flows,
+            "duration": self.duration,
+            "seed": self.seed,
+            "seed_index": self.seed_index,
+            "technology": self.technology,
+            "cell_rate_bps": self.cell_rate_bps,
+            "rtt": self.rtt,
+            "warmup": self.warmup,
+            "label": self.label,
+            "options": {k: v for k, v in self.options},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TaskSpec":
+        payload = dict(payload)
+        payload["options"] = tuple(sorted(payload.get("options", {}).items()))
+        return cls(**payload)
+
+    def key(self) -> str:
+        """Content address: SHA-256 of the canonical spec + repro version.
+
+        The version is part of the address so a cache populated by an
+        older simulator never masks behaviour changes."""
+        body = _canonical_json({"task": self.to_dict(),
+                                "repro_version": REPRO_VERSION})
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CampaignSpec:
+    """A sweep grid.  ``expand()`` yields the Cartesian product
+    scenarios × protocols × flow_counts × overrides × seeds, in that
+    nesting order (seeds innermost)."""
+
+    scenarios: Sequence[str]
+    protocols: Sequence[str]
+    flow_counts: Sequence[int] = (3,)
+    seeds: int = 1
+    duration: float = 30.0
+    technology: str = "3g"
+    cell_rate_bps: Optional[float] = None
+    rtt: float = 0.01
+    #: None (default) resolves to the standard 5 s warm-up, shortened to
+    #: duration/5 so very short smoke sweeps still observe packets.
+    warmup: Optional[float] = None
+    base_seed: int = 0
+    #: Config-override variants: each dict is merged over the protocol's
+    #: default options and becomes its own grid axis entry.
+    overrides: Sequence[dict] = field(default_factory=lambda: [{}])
+    #: Optional display labels, one per override variant.
+    override_labels: Optional[Sequence[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError("seeds must be at least 1")
+        if not self.scenarios or not self.protocols or not self.flow_counts:
+            raise ValueError("scenarios, protocols and flow_counts must "
+                             "each have at least one entry")
+        if (self.override_labels is not None
+                and len(self.override_labels) != len(self.overrides)):
+            raise ValueError("override_labels must match overrides in length")
+
+    def size(self) -> int:
+        return (len(self.scenarios) * len(self.protocols)
+                * len(self.flow_counts) * len(self.overrides) * self.seeds)
+
+    def expand(self) -> List[TaskSpec]:
+        """Expand the grid into per-cell tasks with derived seeds.
+
+        ``SeedSequence.spawn`` gives every cell an independent,
+        well-separated random stream; the spawn index is the cell's fixed
+        position in the grid, so the mapping cell → seed is stable under
+        any execution order and under ``--resume``."""
+        children = np.random.SeedSequence(self.base_seed).spawn(self.size())
+        warmup = (self.warmup if self.warmup is not None
+                  else min(5.0, self.duration / 5.0))
+        tasks: List[TaskSpec] = []
+        index = 0
+        for scenario in self.scenarios:
+            for protocol in self.protocols:
+                for flows in self.flow_counts:
+                    for o_idx, override in enumerate(self.overrides):
+                        options = dict(DEFAULT_PROTOCOL_OPTIONS.get(protocol, {}))
+                        options.update(override)
+                        label = protocol
+                        if self.override_labels is not None:
+                            suffix = self.override_labels[o_idx]
+                            if suffix:
+                                label = f"{protocol}_{suffix}"
+                        elif len(self.overrides) > 1:
+                            label = f"{protocol}_v{o_idx}"
+                        for seed_index in range(self.seeds):
+                            seed = int(children[index].generate_state(1)[0])
+                            tasks.append(TaskSpec(
+                                scenario=scenario,
+                                protocol=protocol,
+                                flows=flows,
+                                duration=self.duration,
+                                seed=seed,
+                                seed_index=seed_index,
+                                technology=self.technology,
+                                cell_rate_bps=self.cell_rate_bps,
+                                rtt=self.rtt,
+                                warmup=warmup,
+                                label=label,
+                                options=tuple(sorted(options.items())),
+                            ))
+                            index += 1
+        return tasks
+
+
+def run_simulation_task(payload: dict) -> dict:
+    """Execute one grid cell: generate the scenario trace, run the
+    contention experiment, return the JSON-safe result summary.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can
+    pickle it to worker processes.
+    """
+    from ..cellular import generate_scenario_trace
+    from ..experiments.runner import repeat_flows, run_trace_contention
+
+    spec = TaskSpec.from_dict(payload)
+    trace = generate_scenario_trace(spec.scenario, duration=spec.duration,
+                                    technology=spec.technology,
+                                    mean_rate_bps=spec.cell_rate_bps,
+                                    seed=spec.seed)
+    flow_specs = repeat_flows(spec.protocol, spec.flows, label=spec.label,
+                              **spec.options_dict())
+    result = run_trace_contention(trace, flow_specs, duration=spec.duration,
+                                  rtt=spec.rtt, warmup=spec.warmup,
+                                  seed=spec.seed)
+    return result.summary()

@@ -8,6 +8,8 @@ Usage::
     python -m repro quickstart                # Verus vs Cubic in one line
     python -m repro trace --scenario city_driving --out trace.txt
     python -m repro live --protocol verus --protocol cubic --duration 10
+    python -m repro sweep --scenario city_driving --protocol verus \
+        --protocol cubic --seeds 3 --jobs 4   # cached parallel campaign
 
 Every experiment honours ``--seed`` so invocations are reproducible
 from the shell; without it each experiment keeps its paper-default
@@ -300,6 +302,70 @@ def _run_live(args) -> None:
                            title="equivalent simulated run (same trace)"))
 
 
+def _run_sweep(args) -> int:
+    """``repro sweep``: expand a campaign grid, run it through the
+    engine, print the aggregated table plus cache accounting."""
+    from .campaign import (
+        CampaignSpec,
+        ResultStore,
+        aggregate_campaign,
+        rows_as_json,
+        run_campaign,
+    )
+
+    spec = CampaignSpec(
+        scenarios=args.scenario or ["campus_pedestrian", "city_driving"],
+        protocols=args.protocol or ["verus", "cubic"],
+        flow_counts=args.flows or [3],
+        seeds=args.seeds,
+        duration=args.duration,
+        technology=args.technology,
+        base_seed=args.base_seed,
+    )
+    try:
+        tasks = spec.expand()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        rows = [{"task": i, "scenario": t.scenario, "protocol": t.protocol,
+                 "label": t.label, "flows": t.flows,
+                 "seed_index": t.seed_index, "seed": t.seed,
+                 "key": t.key()[:12]} for i, t in enumerate(tasks)]
+        print(format_table(rows, title=f"campaign grid ({len(tasks)} tasks, "
+                                       f"dry run)"))
+        return 0
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+
+    def progress(outcome, done, total) -> None:
+        note = outcome.status
+        if outcome.error:
+            note += f": {outcome.error}"
+        print(f"[{done}/{total}] task {outcome.index} {note} "
+              f"({outcome.seconds:.1f}s)", file=sys.stderr)
+
+    result = run_campaign(tasks, jobs=args.jobs, store=store,
+                          resume=args.resume, timeout=args.timeout,
+                          retries=args.retries, progress=progress)
+    rows = aggregate_campaign(result.tasks, result.outcomes)
+    print(format_table(rows, title="campaign summary (mean over seeds, "
+                                   "95% CI)"))
+    stats = result.stats
+    print(f"tasks: {stats.total}  executed: {stats.executed}  "
+          f"cached: {stats.cached}  failed: "
+          f"{stats.failed + stats.timeouts}  retries: {stats.retries}")
+    if store is not None:
+        print(f"cache '{args.cache_dir}': {store.hits} hits, "
+              f"{store.misses} misses, {store.writes} writes")
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(rows_as_json(rows))
+        print(f"wrote aggregated rows to {args.out}")
+    return 0 if result.all_ok else 1
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": _run_fig1, "fig2": _run_fig2, "fig3": _run_fig3,
     "fig4": _run_fig4, "fig5": _run_fig5, "fig7": _run_fig7,
@@ -356,8 +422,51 @@ def main(argv=None) -> int:
     report.add_argument("--duration", type=float, default=45.0)
     report.add_argument("--items", nargs="*", default=None,
                         help="subset of report items (default: all)")
+    report.add_argument("--jobs", type=int, default=1,
+                        help="run report items on N worker processes "
+                             "(default 1: serial, in-process)")
     report.add_argument("--out", default=None,
                         help="write to a file instead of stdout")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a scenario×protocol×seeds campaign grid with "
+                      "process-level parallelism and a durable result cache")
+    sweep.add_argument("--scenario", action="append", default=None,
+                       help="scenario name; repeat for several "
+                            "(default: campus_pedestrian, city_driving)")
+    sweep.add_argument("--protocol", action="append", default=None,
+                       help="protocol name; repeat for several "
+                            "(default: verus, cubic)")
+    sweep.add_argument("--flows", action="append", type=int, default=None,
+                       help="concurrent flows per cell; repeat for several "
+                            "(default: 3)")
+    sweep.add_argument("--seeds", type=int, default=1,
+                       help="seed repetitions per cell (default 1)")
+    sweep.add_argument("--duration", type=float, default=30.0,
+                       help="simulated seconds per cell (default 30)")
+    sweep.add_argument("--technology", default="3g", choices=["3g", "lte"])
+    sweep.add_argument("--base-seed", type=int, default=0,
+                       help="campaign seed; per-task seeds are derived "
+                            "deterministically from it (default 0)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1: serial)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-task timeout in seconds (pooled runs only)")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="retries per failing task (default 1)")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="result store location (default .repro-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="run without reading or writing the store")
+    sweep.add_argument("--resume", dest="resume", action="store_true",
+                       default=True,
+                       help="skip tasks already in the store (default)")
+    sweep.add_argument("--fresh", dest="resume", action="store_false",
+                       help="re-execute every task, ignoring stored results")
+    sweep.add_argument("--dry-run", action="store_true",
+                       help="print the expanded grid and exit")
+    sweep.add_argument("--out", default=None,
+                       help="also write aggregated rows as JSON")
 
     trace = sub.add_parser("trace", help="generate a channel trace file")
     trace.add_argument("--scenario", default="city_driving")
@@ -383,9 +492,12 @@ def main(argv=None) -> int:
     if args.command == "live":
         _run_live(args)
         return 0
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "report":
         from .experiments.full_report import generate_report
-        text = generate_report(duration=args.duration, items=args.items)
+        text = generate_report(duration=args.duration, items=args.items,
+                               jobs=args.jobs)
         if args.out:
             from pathlib import Path
             Path(args.out).write_text(text)

@@ -43,6 +43,7 @@ from .runner import (
     run_fixed_dumbbell,
     run_trace_contention,
     run_variable_dumbbell,
+    summary_stats,
 )
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "run_variable_dumbbell",
     "sensitivity",
     "short_flows",
+    "summary_stats",
     "tracedriven",
     "uplink",
 ]

@@ -4,17 +4,19 @@
 item at configurable fidelity, evaluates the same shape checks the
 benchmarks assert, and writes a self-contained markdown report — the
 artefact a reproduction study would attach to a paper review.
+
+Items are submitted through the campaign executor
+(:func:`repro.campaign.run_tasks`), which provides the uniform failure
+path — one crashed figure becomes a failed row instead of aborting the
+report — and, with ``jobs > 1``, runs items on a process pool.
 """
 
 from __future__ import annotations
 
 import io
-import time
 from contextlib import redirect_stdout
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
-
-import numpy as np
 
 from .report import format_table
 
@@ -133,23 +135,41 @@ ITEMS: Dict[str, Callable[[float], ItemResult]] = {
 }
 
 
+def run_report_item(payload: dict) -> ItemResult:
+    """Execute one report item, stdout silenced.
+
+    Module-level so the campaign executor can ship it to pool workers;
+    exceptions propagate into the executor's failure path.
+    """
+    with redirect_stdout(io.StringIO()):
+        return ITEMS[payload["item"]](payload["duration"])
+
+
 def generate_report(duration: float = 45.0,
-                    items: Optional[List[str]] = None) -> str:
-    """Run the selected (default: all) report items and return markdown."""
+                    items: Optional[List[str]] = None,
+                    jobs: int = 1) -> str:
+    """Run the selected (default: all) report items and return markdown.
+
+    ``jobs`` > 1 fans the items out over the campaign engine's process
+    pool; the default of 1 runs them serially in-process, exactly as
+    before.
+    """
+    from ..campaign import run_tasks
+
     chosen = items if items is not None else list(ITEMS)
-    results: List[ItemResult] = []
     for name in chosen:
-        runner = ITEMS.get(name)
-        if runner is None:
+        if name not in ITEMS:
             raise ValueError(f"unknown report item {name!r}; "
                              f"choose from {sorted(ITEMS)}")
-        started = time.perf_counter()
-        try:
-            with redirect_stdout(io.StringIO()):
-                result = runner(duration)
-        except Exception as exc:   # pragma: no cover - defensive
-            result = ItemResult(name, "crashed", False, error=repr(exc))
-        result.seconds = time.perf_counter() - started
+    run = run_tasks([{"item": name, "duration": duration} for name in chosen],
+                    run_report_item, jobs=jobs, retries=0)
+    results: List[ItemResult] = []
+    for name, outcome in zip(chosen, run.outcomes):
+        if outcome.ok:
+            result = outcome.result
+        else:
+            result = ItemResult(name, "crashed", False, error=outcome.error)
+        result.seconds = outcome.seconds
         results.append(result)
 
     lines = ["# Verus reproduction report", ""]

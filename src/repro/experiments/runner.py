@@ -131,6 +131,31 @@ class ExperimentResult:
             grouped.setdefault(stat.label, []).append(stat)
         return grouped
 
+    def summary(self) -> dict:
+        """JSON-safe summary of the experiment: per-flow statistics plus
+        the spec each flow ran under.  Live sender/receiver objects (and
+        their delivery logs) are dropped, so the payload can be persisted
+        by the campaign result store and reloaded with
+        :func:`summary_stats`."""
+        return {
+            "duration": float(self.duration),
+            "warmup": float(self.warmup),
+            "flows": [
+                {
+                    "protocol": spec.protocol,
+                    "label": spec.label,
+                    "start_at": float(spec.start_at),
+                    "stats": stat.to_dict(),
+                }
+                for spec, stat in zip(self.specs, self.all_stats())
+            ],
+        }
+
+
+def summary_stats(summary: dict) -> List[FlowStats]:
+    """Rehydrate the :class:`FlowStats` list from a ``summary()`` payload."""
+    return [FlowStats.from_dict(flow["stats"]) for flow in summary["flows"]]
+
 
 def _run_dumbbell(sim: Simulator, bottleneck, specs: Sequence[FlowSpec],
                   duration: float, default_rtt: float,

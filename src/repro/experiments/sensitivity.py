@@ -4,37 +4,45 @@ The paper selected ε = 5 ms, a 1 s re-interpolation interval and
 δ1/δ2 = 1/2 ms through OPNET sweeps over the seven collected traces.
 These sweeps regenerate that analysis on the synthetic traces, reporting
 throughput/delay per setting so the chosen defaults can be justified.
+
+Settings are submitted through the campaign engine
+(:func:`repro.campaign.run_campaign`), so sweeps can fan out over a
+process pool (``jobs``) and reuse cached cells (``cache_dir``); the
+defaults — serial, uncached — reproduce the historical behaviour
+exactly, down to the per-setting seed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from ..cellular import generate_scenario_trace
 from ..metrics import aggregate_stats
-from .runner import repeat_flows, run_trace_contention
+from .runner import summary_stats
 
 
 def _sweep(overrides_list: List[dict], labels: List[str],
            scenario: str = "campus_pedestrian", flows: int = 3,
            duration: float = 60.0, technology: str = "3g",
-           cell_rate_bps: float = 10e6, seed: int = 61) -> List[dict]:
-    trace = generate_scenario_trace(scenario, duration=duration,
-                                    technology=technology,
-                                    mean_rate_bps=cell_rate_bps, seed=seed)
+           cell_rate_bps: float = 10e6, seed: int = 61,
+           jobs: int = 1, cache_dir: Optional[str] = None) -> List[dict]:
+    from ..campaign import TaskSpec, run_campaign
+
+    tasks = [TaskSpec(scenario=scenario, protocol="verus", flows=flows,
+                      duration=duration, seed=seed, technology=technology,
+                      cell_rate_bps=cell_rate_bps, label=label,
+                      options={"r": 2.0, **overrides})
+             for label, overrides in zip(labels, overrides_list)]
+    campaign = run_campaign(tasks, jobs=jobs, cache_dir=cache_dir)
     rows = []
-    for label, overrides in zip(labels, overrides_list):
-        specs = repeat_flows("verus", flows, label=label, r=2.0, **overrides)
-        result = run_trace_contention(trace, specs, duration=duration,
-                                      seed=seed)
-        agg = aggregate_stats(result.all_stats())
-        rows.append({
-            "setting": label,
-            "mean_throughput_mbps": agg["mean_throughput_mbps"],
-            "mean_delay_ms": agg["mean_delay_ms"],
-        })
+    for task, outcome in zip(campaign.tasks, campaign.outcomes):
+        row = {"setting": task.label}
+        if outcome.ok:
+            agg = aggregate_stats(summary_stats(outcome.result))
+            row["mean_throughput_mbps"] = agg["mean_throughput_mbps"]
+            row["mean_delay_ms"] = agg["mean_delay_ms"]
+        else:
+            row["error"] = outcome.error
+        rows.append(row)
     return rows
 
 

@@ -49,6 +49,47 @@ class FlowStats:
             "p95_delay_ms": round(self.p95_delay * 1e3, 1),
         }
 
+    def to_dict(self) -> dict:
+        """Full-precision JSON-safe serialization (``as_dict`` rounds for
+        display).  NaN delays — an empty observation window — become None
+        so the payload survives strict JSON round-trips."""
+
+        def _num(value: float):
+            return None if np.isnan(value) else float(value)
+
+        return {
+            "flow_id": self.flow_id,
+            "label": self.label,
+            "duration": float(self.duration),
+            "bytes_received": int(self.bytes_received),
+            "packets_received": int(self.packets_received),
+            "throughput_bps": float(self.throughput_bps),
+            "mean_delay": _num(self.mean_delay),
+            "median_delay": _num(self.median_delay),
+            "p95_delay": _num(self.p95_delay),
+            "max_delay": _num(self.max_delay),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FlowStats":
+        """Inverse of :meth:`to_dict`."""
+
+        def _num(value) -> float:
+            return float("nan") if value is None else float(value)
+
+        return cls(
+            flow_id=int(payload["flow_id"]),
+            label=payload["label"],
+            duration=float(payload["duration"]),
+            bytes_received=int(payload["bytes_received"]),
+            packets_received=int(payload["packets_received"]),
+            throughput_bps=float(payload["throughput_bps"]),
+            mean_delay=_num(payload["mean_delay"]),
+            median_delay=_num(payload["median_delay"]),
+            p95_delay=_num(payload["p95_delay"]),
+            max_delay=_num(payload["max_delay"]),
+        )
+
 
 def flow_stats(deliveries: Sequence[Delivery], flow_id: int = 0,
                label: str = "", start: float = 0.0,

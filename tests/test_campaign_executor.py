@@ -1,0 +1,155 @@
+"""Failure-mode tests for the campaign executor: timeouts, worker
+exceptions, flaky-task retries, worker death, and cache-hit skipping.
+
+Task functions live at module level so ``ProcessPoolExecutor`` can
+pickle them into worker processes; flaky/crash behaviour is keyed off
+sentinel files because pool workers share no Python state with the
+test process.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.campaign import ResultStore, run_tasks
+
+
+def echo_task(payload):
+    return payload["value"]
+
+
+def sleep_task(payload):
+    time.sleep(payload["sleep"])
+    return "slept"
+
+
+def boom_task(payload):
+    raise ValueError(f"boom:{payload['value']}")
+
+
+def flaky_task(payload):
+    """Fails on the first call, succeeds once the sentinel exists."""
+    sentinel = Path(payload["sentinel"])
+    if not sentinel.exists():
+        sentinel.touch()
+        raise RuntimeError("transient failure")
+    return "recovered"
+
+
+def crashy_task(payload):
+    """Kills its worker process outright — after a short delay, so
+    innocent neighbours finish their (faster) tasks first."""
+    if payload.get("crash"):
+        time.sleep(0.4)
+        os._exit(17)
+    time.sleep(0.05)
+    return payload["value"]
+
+
+def counting_task(payload):
+    """Appends to a ledger file so executions are observable across
+    processes, then returns a JSON-safe result."""
+    with open(payload["ledger"], "a") as fh:
+        fh.write("x")
+    return {"value": payload["value"]}
+
+
+class TestSerialExecution:
+    def test_results_in_input_order(self):
+        run = run_tasks([{"value": i} for i in range(5)], echo_task)
+        assert [o.result for o in run.outcomes] == list(range(5))
+        assert run.all_ok
+        assert run.stats.executed == 5
+
+    def test_worker_exception_marks_task_failed(self):
+        run = run_tasks([{"value": 1}, {"value": 2}], boom_task, retries=0)
+        assert [o.status for o in run.outcomes] == ["failed", "failed"]
+        assert "boom:1" in run.outcomes[0].error
+        assert run.stats.failed == 2
+
+    def test_failure_does_not_stop_siblings(self):
+        run = run_tasks([{"value": 1}], boom_task, retries=0)
+        ok = run_tasks([{"value": 7}], echo_task)
+        assert not run.outcomes[0].ok
+        assert ok.outcomes[0].result == 7
+
+    def test_retry_then_succeed(self, tmp_path):
+        payload = {"sentinel": str(tmp_path / "s1")}
+        run = run_tasks([payload], flaky_task, retries=1, backoff=0.01)
+        assert run.outcomes[0].status == "ok"
+        assert run.outcomes[0].result == "recovered"
+        assert run.outcomes[0].attempts == 2
+        assert run.stats.retries == 1
+
+    def test_retries_exhausted(self, tmp_path):
+        run = run_tasks([{"value": 9}], boom_task, retries=2, backoff=0.01)
+        assert run.outcomes[0].status == "failed"
+        assert run.outcomes[0].attempts == 3
+        assert run.stats.retries == 2
+
+
+class TestPooledExecution:
+    def test_results_in_input_order(self):
+        run = run_tasks([{"value": i} for i in range(6)], echo_task, jobs=3)
+        assert [o.result for o in run.outcomes] == list(range(6))
+        assert run.stats.executed == 6
+
+    def test_task_timeout(self):
+        run = run_tasks([{"sleep": 5.0}, {"sleep": 0.01}], sleep_task,
+                        jobs=2, timeout=0.5)
+        by_status = {o.status for o in run.outcomes}
+        assert run.outcomes[0].status == "timeout"
+        assert run.outcomes[1].status == "ok"
+        assert "timed out" in run.outcomes[0].error
+        assert run.stats.timeouts == 1
+        assert by_status == {"timeout", "ok"}
+
+    def test_worker_exception_is_isolated(self):
+        payloads = [{"value": 1}, {"value": 2}, {"value": 3}]
+        run = run_tasks(payloads, boom_task, jobs=2, retries=0)
+        assert all(o.status == "failed" for o in run.outcomes)
+        assert run.stats.failed == 3
+
+    def test_retry_then_succeed_across_processes(self, tmp_path):
+        payloads = [{"sentinel": str(tmp_path / f"s{i}")} for i in range(3)]
+        run = run_tasks(payloads, flaky_task, jobs=2, retries=1, backoff=0.01)
+        assert all(o.status == "ok" for o in run.outcomes)
+        assert all(o.attempts == 2 for o in run.outcomes)
+        assert run.stats.retries == 3
+
+    def test_worker_death_fails_one_task_not_the_campaign(self):
+        payloads = [{"crash": True, "value": 0}] + \
+                   [{"value": i} for i in range(1, 4)]
+        run = run_tasks(payloads, crashy_task, jobs=2, retries=1,
+                        backoff=0.01)
+        assert run.outcomes[0].status == "failed"
+        assert "died" in run.outcomes[0].error
+        assert [o.result for o in run.outcomes[1:]] == [1, 2, 3]
+        assert run.stats.pool_restarts >= 1
+
+
+class TestCaching:
+    def test_cache_hit_skips_execution(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        ledger.touch()
+        store = ResultStore(tmp_path / "cache")
+        payloads = [{"ledger": str(ledger), "value": i} for i in range(3)]
+        keys = [f"{i:02d}" * 32 for i in range(3)]
+
+        first = run_tasks(payloads, counting_task, store=store, keys=keys)
+        assert first.stats.executed == 3
+        assert ledger.read_text() == "xxx"
+
+        second = run_tasks(payloads, counting_task, store=store, keys=keys)
+        assert second.stats.cached == 3
+        assert second.stats.executed == 0
+        assert ledger.read_text() == "xxx"   # no re-execution
+        assert [o.result for o in second.outcomes] == \
+               [{"value": i} for i in range(3)]
+
+    def test_failed_tasks_are_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = run_tasks([{"value": 1}], boom_task, store=store,
+                        keys=["aa" * 32], retries=0)
+        assert not run.outcomes[0].ok
+        assert len(store) == 0

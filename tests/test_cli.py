@@ -55,6 +55,47 @@ class TestCommands:
         assert "Jain index" in capsys.readouterr().out
 
 
+class TestSweep:
+    def test_dry_run_prints_grid(self, capsys):
+        code = main(["sweep", "--scenario", "city_driving",
+                     "--protocol", "verus", "--protocol", "cubic",
+                     "--seeds", "2", "--dry-run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 tasks" in out
+        assert "seed_index" in out
+        assert out.count("city_driving") == 4
+
+    def test_sweep_runs_then_resumes_from_cache(self, tmp_path, capsys):
+        argv = ["sweep", "--scenario", "campus_pedestrian",
+                "--protocol", "cubic", "--duration", "4", "--seeds", "2",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "executed: 2" in first and "cached: 0" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "executed: 0" in second and "cached: 2" in second
+        assert "2 hits" in second
+
+    def test_sweep_writes_rows_json(self, tmp_path, capsys):
+        import json
+        out_file = tmp_path / "rows.json"
+        code = main(["sweep", "--scenario", "campus_pedestrian",
+                     "--protocol", "cubic", "--duration", "4",
+                     "--no-cache", "--out", str(out_file)])
+        assert code == 0
+        rows = json.loads(out_file.read_text())
+        assert rows[0]["protocol"] == "cubic"
+        assert rows[0]["mean_throughput_mbps"] > 0
+
+    def test_report_accepts_jobs_flag(self, capsys):
+        assert main(["report", "--duration", "10", "--items", "fig4",
+                     "--jobs", "2"]) == 0
+        assert "# Verus reproduction report" in capsys.readouterr().out
+
+
 class TestSeedFlag:
     def test_run_seed_reproducible_from_shell(self, capsys):
         assert main(["run", "fig2", "--duration", "20", "--seed", "123"]) == 0

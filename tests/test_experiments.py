@@ -106,6 +106,21 @@ class TestRunners:
         mapping = result.per_flow_deliveries()
         assert set(mapping) == {0, 1}
 
+    def test_summary_round_trips_through_json(self):
+        import json
+
+        from repro.experiments.runner import summary_stats
+        trace = generate_scenario_trace("campus_stationary", duration=10.0,
+                                        seed=1)
+        specs = repeat_flows("verus", 1) + repeat_flows("cubic", 1)
+        result = run_trace_contention(trace, specs, duration=10.0,
+                                      warmup=2.0)
+        summary = json.loads(json.dumps(result.summary()))
+        assert summary["duration"] == 10.0
+        assert [f["protocol"] for f in summary["flows"]] == ["verus", "cubic"]
+        restored = summary_stats(summary)
+        assert restored == result.all_stats()
+
 
 class TestHeadlineResult:
     def test_verus_vs_cubic_delay_gap(self):

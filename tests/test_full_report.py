@@ -31,3 +31,26 @@ class TestGenerateReport:
         header = [l for l in text.splitlines()
                   if l.startswith("Shape checks passed")][0]
         assert "/2" in header
+
+    def test_parallel_jobs_match_serial(self):
+        serial = generate_report(duration=20.0, items=["fig4", "fig3"])
+        parallel = generate_report(duration=20.0, items=["fig4", "fig3"],
+                                   jobs=2)
+        # runtimes differ between runs; compare everything else
+        def strip_runtime(text):
+            return [l.rsplit("|", 2)[0] for l in text.splitlines()]
+        assert strip_runtime(serial) == strip_runtime(parallel)
+
+
+class TestFailurePath:
+    def test_crashed_item_becomes_error_row(self, monkeypatch):
+        def kaboom(duration):
+            raise RuntimeError("figure exploded")
+        monkeypatch.setitem(ITEMS, "fig4", kaboom)
+        text = generate_report(duration=5.0, items=["fig4", "fig3"])
+        assert "ERROR: RuntimeError('figure exploded')" in text
+        # the crash did not abort the report: fig3 still reported
+        assert "## fig3" in text
+        header = [l for l in text.splitlines()
+                  if l.startswith("Shape checks passed")][0]
+        assert "/2" in header

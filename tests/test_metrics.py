@@ -51,6 +51,26 @@ class TestFlowStats:
         assert d["label"] == "x"
         assert d["mean_delay_ms"] == 50.1
 
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        from repro.metrics import FlowStats
+        rows = deliveries(np.linspace(0.0, 9.9, 500), delay=0.042)
+        stats = flow_stats(rows, flow_id=3, label="verus", end=10.0)
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert FlowStats.from_dict(payload) == stats
+
+    def test_to_dict_round_trips_nan_delays(self):
+        import json
+
+        from repro.metrics import FlowStats
+        stats = flow_stats([], start=0.0, end=10.0)
+        body = json.dumps(stats.to_dict(), allow_nan=False)  # strict JSON
+        restored = FlowStats.from_dict(json.loads(body))
+        assert np.isnan(restored.mean_delay)
+        assert restored.throughput_bps == 0.0
+        assert restored.duration == stats.duration
+
 
 class TestWindowedSeries:
     def test_throughput_binning(self):
