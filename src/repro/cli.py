@@ -10,6 +10,8 @@ Usage::
     python -m repro live --protocol verus --protocol cubic --duration 10
     python -m repro sweep --scenario city_driving --protocol verus \
         --protocol cubic --seeds 3 --jobs 4   # cached parallel campaign
+    python -m repro chaos --protocol verus --fault blackout \
+        --fault chaos --backend both          # fault-injection matrix
 
 Every experiment honours ``--seed`` so invocations are reproducible
 from the shell; without it each experiment keeps its paper-default
@@ -366,6 +368,82 @@ def _run_sweep(args) -> int:
     return 0 if result.all_ok else 1
 
 
+def _run_chaos(args) -> int:
+    """``repro chaos``: expand a (protocol × fault × seed) acceptance
+    matrix, run it through the campaign engine, and fail unless every
+    cell recovered post-disruption."""
+    from .campaign import ResultStore
+    from .faults import FAULT_PRESETS, expand_chaos, run_chaos_matrix
+
+    backends = ["sim", "live"] if args.backend == "both" else [args.backend]
+    try:
+        tasks = expand_chaos(
+            protocols=args.protocol or ["verus", "cubic"],
+            faults=args.fault or ["blackout", "chaos"],
+            seeds=args.seeds,
+            duration=args.duration,
+            backends=backends,
+            scenario=args.scenario,
+            flows=args.flows,
+            deadline=args.deadline,
+            base_seed=args.base_seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        rows = [{"task": i, "protocol": t.protocol, "fault": t.fault,
+                 "backend": t.backend, "seed_index": t.seed_index,
+                 "seed": t.seed, "key": t.key()[:12]}
+                for i, t in enumerate(tasks)]
+        print(format_table(rows, title=f"chaos matrix ({len(tasks)} cells, "
+                                       f"dry run)"))
+        return 0
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+
+    def progress(outcome, done, total) -> None:
+        note = outcome.status
+        if outcome.ok and isinstance(outcome.result, dict):
+            note += (" recovered" if outcome.result.get("recovered")
+                     else " NOT-RECOVERED")
+            if outcome.result.get("degraded"):
+                note += " degraded"
+        if outcome.error:
+            note += f": {outcome.error}"
+        print(f"[{done}/{total}] cell {outcome.index} {note} "
+              f"({outcome.seconds:.1f}s)", file=sys.stderr)
+
+    result = run_chaos_matrix(tasks, jobs=args.jobs, store=store,
+                              resume=args.resume, timeout=args.timeout,
+                              retries=args.retries, progress=progress)
+    rows = result.rows()
+    print(format_table(rows, title="chaos acceptance matrix "
+                                   "(recovered / cells per group)"))
+    stats = result.stats
+    print(f"cells: {stats.total}  executed: {stats.executed}  "
+          f"cached: {stats.cached}  failed: "
+          f"{stats.failed + stats.timeouts}  retries: {stats.retries}")
+    if store is not None:
+        print(f"cache '{args.cache_dir}': {store.hits} hits, "
+              f"{store.misses} misses, {store.writes} writes")
+    if args.out:
+        import json
+        from pathlib import Path
+        Path(args.out).write_text(json.dumps(rows, indent=2))
+        print(f"wrote matrix rows to {args.out}")
+    if not result.all_ok:
+        print("FAIL: some cells did not execute", file=sys.stderr)
+        return 1
+    if not result.all_recovered:
+        print("FAIL: some flows did not recover post-disruption",
+              file=sys.stderr)
+        return 1
+    print("all flows recovered")
+    return 0
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": _run_fig1, "fig2": _run_fig2, "fig3": _run_fig3,
     "fig4": _run_fig4, "fig5": _run_fig5, "fig7": _run_fig7,
@@ -468,6 +546,49 @@ def main(argv=None) -> int:
     sweep.add_argument("--out", default=None,
                        help="also write aggregated rows as JSON")
 
+    chaos = sub.add_parser(
+        "chaos", help="run the fault-injection acceptance matrix: every "
+                      "protocol must recover after every fault schedule")
+    chaos.add_argument("--protocol", action="append", default=None,
+                       help="protocol name; repeat for several "
+                            "(default: verus, cubic)")
+    chaos.add_argument("--fault", action="append", default=None,
+                       help="fault preset; repeat for several "
+                            "(default: blackout, chaos)")
+    chaos.add_argument("--backend", default="sim",
+                       choices=["sim", "live", "both"],
+                       help="where cells run: the simulator, the live UDP "
+                            "loopback emulator, or both (default sim)")
+    chaos.add_argument("--scenario", default="campus_stationary")
+    chaos.add_argument("--flows", type=int, default=1,
+                       help="concurrent flows per cell (default 1)")
+    chaos.add_argument("--seeds", type=int, default=1,
+                       help="seed repetitions per cell (default 1)")
+    chaos.add_argument("--duration", type=float, default=20.0,
+                       help="seconds per cell — wall-clock on the live "
+                            "backend (default 20)")
+    chaos.add_argument("--deadline", type=float, default=3.0,
+                       help="post-disruption recovery deadline in seconds "
+                            "(default 3)")
+    chaos.add_argument("--base-seed", type=int, default=0)
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1: serial)")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-cell timeout in seconds (pooled runs only)")
+    chaos.add_argument("--retries", type=int, default=1)
+    chaos.add_argument("--cache-dir", default=".repro-cache",
+                       help="result store location (default .repro-cache)")
+    chaos.add_argument("--no-cache", action="store_true")
+    chaos.add_argument("--resume", dest="resume", action="store_true",
+                       default=True,
+                       help="skip cells already in the store (default)")
+    chaos.add_argument("--fresh", dest="resume", action="store_false",
+                       help="re-execute every cell, ignoring stored results")
+    chaos.add_argument("--dry-run", action="store_true",
+                       help="print the expanded matrix and exit")
+    chaos.add_argument("--out", default=None,
+                       help="also write matrix rows as JSON")
+
     trace = sub.add_parser("trace", help="generate a channel trace file")
     trace.add_argument("--scenario", default="city_driving")
     trace.add_argument("--technology", default="3g", choices=["3g", "lte"])
@@ -494,6 +615,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "report":
         from .experiments.full_report import generate_report
         text = generate_report(duration=args.duration, items=args.items,

@@ -108,6 +108,11 @@ class ExperimentResult:
     receivers: List[ReceiverProtocol]
     duration: float
     warmup: float
+    #: Set when the run ended early or lost a peer (live path teardown,
+    #: fault-injected blackout that never healed, ...).  Stats computed
+    #: from a degraded result cover only the time actually run.
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
 
     def deliveries(self, flow_id: int):
         return self.receivers[flow_id].deliveries
@@ -140,6 +145,8 @@ class ExperimentResult:
         return {
             "duration": float(self.duration),
             "warmup": float(self.warmup),
+            "degraded": bool(self.degraded),
+            "degraded_reason": self.degraded_reason,
             "flows": [
                 {
                     "protocol": spec.protocol,

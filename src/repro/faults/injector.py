@@ -1,0 +1,211 @@
+"""Compile a :class:`~repro.faults.spec.FaultSchedule` onto a clock.
+
+:class:`FaultInjector` is a composable link in the style of
+:mod:`repro.netsim.impairments`: it exposes ``send(packet)`` and a
+writable ``dst``, and only ever touches the clock through ``now`` and
+``schedule`` — the :class:`~repro.netsim.flow.Clock` surface — so the
+same instance runs inside the discrete-event
+:class:`~repro.netsim.engine.Simulator` and on the live path's
+:class:`~repro.live.clock.WallClock` without modification.
+
+Two extra hooks exist only for the live backend, where faults can act on
+*real bytes* rather than packet objects:
+
+* :meth:`mangle` corrupts or truncates an encoded datagram (the hardened
+  wire format must then reject it — that rejection shows up in the
+  :class:`~repro.live.host.LiveHost` ``wire_errors`` counters, never as
+  a silent drop);
+* :meth:`blocked` answers "is this direction dark right now?", used by
+  the emulator's ACK path to enforce one-way blackouts on datagrams it
+  forwards verbatim.
+
+In the simulator, corruption compiles to a counted drop: a corrupted
+frame would fail its checksum at the receiver's NIC and never reach the
+protocol, which is exactly what discarding it models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..netsim.packet import Packet
+from .spec import FaultSchedule
+
+Destination = Callable[[Packet], None]
+
+#: Spacing between an original packet and its injected duplicate.
+_DUPLICATE_LAG = 0.0005
+
+
+@dataclass
+class FaultStats:
+    """What one injector did to the traffic that crossed it."""
+
+    forwarded: int = 0
+    blackout_drops: int = 0
+    burst_losses: int = 0
+    corrupted: int = 0
+    truncated: int = 0
+    duplicated: int = 0
+    reorder_delays: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    @property
+    def dropped(self) -> int:
+        return self.blackout_drops + self.burst_losses
+
+
+def _in_windows(t: float, windows: List[Tuple[float, float]]) -> bool:
+    return any(start <= t < end for start, end in windows)
+
+
+class FaultInjector:
+    """Applies a fault schedule to packets crossing one direction.
+
+    Parameters
+    ----------
+    clock:
+        Anything satisfying :class:`~repro.netsim.flow.Clock`.
+    schedule:
+        The declarative fault schedule to compile.
+    rng:
+        Random stream for the stochastic faults.  **Required** — every
+        injector must be seeded from the scenario/flow seed so two
+        injectors in one topology are never accidentally correlated.
+    direction:
+        ``"down"`` applies the full schedule (data-path pathologies plus
+        outages); ``"up"`` applies only the outage/flap windows marked
+        for the reverse path.
+    base_delay:
+        Fixed delay added to every forwarded packet (stands in for the
+        plain delay line the injector replaces).
+    byte_corruption:
+        Live mode: corruption is *not* applied at the packet level;
+        :meth:`mangle` applies it to encoded datagrams instead.
+    """
+
+    def __init__(self, clock, schedule: FaultSchedule,
+                 rng: np.random.Generator, direction: str = "down",
+                 base_delay: float = 0.0,
+                 dst: Optional[Destination] = None,
+                 byte_corruption: bool = False):
+        if direction not in ("down", "up"):
+            raise ValueError("direction must be 'down' or 'up'")
+        if base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if rng is None:
+            raise ValueError("an explicitly seeded rng is required")
+        self.clock = clock
+        self.schedule = schedule
+        self.rng = rng
+        self.direction = direction
+        self.base_delay = base_delay
+        self.dst = dst
+        self.byte_corruption = byte_corruption
+        self.stats = FaultStats()
+        # Pre-expanded windows; flaps are folded into the outage list.
+        self._outages = schedule.outage_windows(direction)
+        if direction == "down":
+            self._burst = schedule.windows("burst_loss")
+            self._corrupt = schedule.windows("corruption")
+            self._duplicate = schedule.windows("duplication")
+            self._reorder = [(e.start, e.end, e.jitter) for e in schedule
+                             if e.kind == "reorder"]
+            self._jumps = schedule.clock_jumps()
+        else:
+            self._burst = self._corrupt = self._duplicate = []
+            self._reorder = []
+            self._jumps = []
+
+    # ------------------------------------------------------------------
+    # Shared window queries
+    # ------------------------------------------------------------------
+    def blocked(self, now: Optional[float] = None) -> bool:
+        """True while this direction is inside a blackout window."""
+        t = self.clock.now if now is None else now
+        return _in_windows(t, self._outages)
+
+    def _clock_extra(self, t: float) -> float:
+        extra = sum(offset for at, offset in self._jumps if at <= t)
+        return max(0.0, extra)
+
+    def _active_rate(self, t: float, kind: str) -> float:
+        for event in self.schedule:
+            if event.kind == kind and event.start <= t < event.end:
+                return event.rate
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Packet-level path (both backends)
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        if self.dst is None:
+            raise RuntimeError("FaultInjector has no destination attached")
+        now = self.clock.now
+        if _in_windows(now, self._outages):
+            self.stats.blackout_drops += 1
+            return
+        if self._burst and _in_windows(now, self._burst):
+            if self.rng.random() < self._active_rate(now, "burst_loss"):
+                self.stats.burst_losses += 1
+                return
+        if (not self.byte_corruption and self._corrupt
+                and _in_windows(now, self._corrupt)):
+            if self.rng.random() < self._active_rate(now, "corruption"):
+                # Simulator compile target: the corrupted frame dies at
+                # the receiver's checksum, i.e. a counted drop.
+                self.stats.corrupted += 1
+                return
+        delay = self.base_delay + self._clock_extra(now)
+        for start, end, jitter in self._reorder:
+            if start <= now < end:
+                delay += float(self.rng.uniform(0.0, jitter))
+                self.stats.reorder_delays += 1
+                break
+        self.stats.forwarded += 1
+        self._forward(packet, delay)
+        if self._duplicate and _in_windows(now, self._duplicate):
+            if self.rng.random() < self._active_rate(now, "duplication"):
+                self.stats.duplicated += 1
+                self._forward(packet, delay + _DUPLICATE_LAG)
+
+    #: Links hand packets to ``dst(packet)``; behave like one.
+    def __call__(self, packet: Packet) -> None:
+        self.send(packet)
+
+    def _forward(self, packet: Packet, delay: float) -> None:
+        if delay <= 0:
+            self.dst(packet)
+        else:
+            self.clock.schedule(delay, self.dst, packet)
+
+    # ------------------------------------------------------------------
+    # Byte-level path (live backend only)
+    # ------------------------------------------------------------------
+    def mangle(self, data: bytes) -> bytes:
+        """Corrupt an encoded datagram if a corruption window is active.
+
+        Half of the corruptions are truncations (a random tail is cut),
+        the rest are bit flips.  Either way the hardened wire format
+        rejects the datagram deterministically; the receiving host's
+        ``truncated``/``corrupted`` counters account for every one.
+        """
+        now = self.clock.now
+        if not self._corrupt or not _in_windows(now, self._corrupt):
+            return data
+        if self.rng.random() >= self._active_rate(now, "corruption"):
+            return data
+        if len(data) > 1 and self.rng.random() < 0.5:
+            self.stats.truncated += 1
+            return data[:int(self.rng.integers(1, len(data)))]
+        mutated = bytearray(data)
+        for _ in range(int(self.rng.integers(1, 4))):
+            position = int(self.rng.integers(0, len(mutated)))
+            mutated[position] ^= 1 << int(self.rng.integers(0, 8))
+        self.stats.corrupted += 1
+        return bytes(mutated)

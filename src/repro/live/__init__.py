@@ -22,11 +22,13 @@ moving the *same* protocol instances onto localhost UDP datagrams:
 
 from .clock import WallClock, WallEvent
 from .emulator import EmulatorStats, LinkEmulator
-from .host import LiveHost
+from .host import LiveHost, StallEvent
 from .session import LiveSessionError, run_live_session
 from .wire import (
     WIRE_VERSION,
+    WireChecksumError,
     WireFormatError,
+    WireTruncatedError,
     decode_packet,
     encode_packet,
     header_size,
@@ -37,10 +39,13 @@ __all__ = [
     "LinkEmulator",
     "LiveHost",
     "LiveSessionError",
+    "StallEvent",
     "WallClock",
     "WallEvent",
     "WIRE_VERSION",
+    "WireChecksumError",
     "WireFormatError",
+    "WireTruncatedError",
     "decode_packet",
     "encode_packet",
     "header_size",

@@ -53,6 +53,13 @@ class EmulatorStats:
     stochastic_losses: int = 0
     acks_forwarded: int = 0
     decode_errors: int = 0
+    #: Datagrams deliberately damaged by an injected corruption fault.
+    mangled: int = 0
+    #: ACK datagrams dropped by an injected uplink blackout.
+    uplink_blackout_drops: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
 
 
 class _Socket(asyncio.DatagramProtocol):
@@ -98,6 +105,18 @@ class LinkEmulator:
         Optional wrapper from :mod:`repro.netsim.impairments` constructed
         with this emulator's clock; its ``dst`` is set to the emulator's
         delivery tail and it replaces the plain downlink delay.
+    faults:
+        Optional downlink :class:`~repro.faults.injector.FaultInjector`
+        (built with ``byte_corruption=True`` and this emulator's clock).
+        Like ``impairment`` it replaces the plain downlink delay for
+        packet-level faults (outages, burst loss, duplication, reorder
+        storms), and additionally its :meth:`mangle` hook damages the
+        *encoded* datagram at the delivery tail so corruption exercises
+        the receiver's real parse path.  Mutually exclusive with
+        ``impairment``.
+    uplink_faults:
+        Optional up-direction injector; only its blackout windows apply —
+        ACK datagrams are dropped (and counted) while the uplink is dark.
     """
 
     def __init__(self, clock: WallClock,
@@ -110,7 +129,9 @@ class LinkEmulator:
                  bytes_per_opportunity: int = MTU_BYTES,
                  rng: Optional[np.random.Generator] = None,
                  stepper_chunk: float = 0.25,
-                 impairment=None):
+                 impairment=None,
+                 faults=None,
+                 uplink_faults=None):
         if (trace is None) == (stepper is None):
             raise ValueError("provide exactly one of trace or stepper")
         if not 0.0 <= loss_rate < 1.0:
@@ -134,9 +155,16 @@ class LinkEmulator:
         self.bytes_per_opportunity = int(bytes_per_opportunity)
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stepper_chunk = stepper_chunk
+        if impairment is not None and faults is not None:
+            raise ValueError("impairment and faults are mutually exclusive; "
+                             "express the impairment as a fault event")
         self.impairment = impairment
         if impairment is not None:
             impairment.dst = self._deliver_tail
+        self.faults = faults
+        if faults is not None:
+            faults.dst = self._deliver_tail
+        self.uplink_faults = uplink_faults
         self.stats = EmulatorStats()
         self.sender_addr: Optional[Address] = None
         self.receiver_addr: Optional[Address] = None
@@ -267,7 +295,9 @@ class LinkEmulator:
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.stats.stochastic_losses += 1
             return
-        if self.impairment is not None:
+        if self.faults is not None:
+            self.faults.send(packet)
+        elif self.impairment is not None:
             self.impairment.send(packet)
         elif self.downlink_delay > 0:
             self.clock.schedule(self.downlink_delay, self._deliver_tail, packet)
@@ -277,7 +307,13 @@ class LinkEmulator:
     def _deliver_tail(self, packet: Packet) -> None:
         if self._egress is None or self.receiver_addr is None:
             return
-        self._egress.sendto(encode_packet(packet), self.receiver_addr)
+        data = encode_packet(packet)
+        if self.faults is not None:
+            damaged = self.faults.mangle(data)
+            if damaged is not data:
+                self.stats.mangled += 1
+                data = damaged
+        self._egress.sendto(data, self.receiver_addr)
         self.stats.delivered += 1
         self.stats.bytes_delivered += packet.size
 
@@ -288,6 +324,9 @@ class LinkEmulator:
         dumbbell — ACK bytes are forwarded verbatim, never re-encoded.
         """
         if self.sender_addr is None:
+            return
+        if self.uplink_faults is not None and self.uplink_faults.blocked():
+            self.stats.uplink_blackout_drops += 1
             return
         self.stats.acks_forwarded += 1
         if self.uplink_delay > 0:

@@ -16,19 +16,53 @@ path).  It adapts the two directions of the
 The protocol objects themselves are untouched: the same ``VerusSender``
 instance that runs inside :class:`~repro.netsim.engine.Simulator` runs
 here, scheduling its epoch timer on the shared :class:`WallClock`.
+
+Nothing is dropped silently: every datagram that fails to parse is
+accounted in the ``wire_errors`` counter, broken down into ``truncated``
+(short datagrams) and ``corrupted`` (CRC failures).  A sender host can
+additionally arm a per-flow ACK-inactivity watchdog
+(:meth:`LiveHost.start_watchdog`) that detects a dead peer: each flow's
+silence threshold grows by capped exponential backoff while the flow
+stays quiet and resets the moment an ACK arrives, and a stall that
+outlives the cap is flagged *fatal* so the session can tear down
+gracefully instead of hanging.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..netsim.flow import ReceiverProtocol, SenderProtocol
 from ..netsim.packet import Packet
 from .clock import WallClock
-from .wire import WireFormatError, decode_packet, encode_packet
+from .wire import (
+    WireChecksumError,
+    WireFormatError,
+    WireTruncatedError,
+    decode_packet,
+    encode_packet,
+)
 
 Address = Tuple[str, int]
+
+#: Backoff multiplier ceiling for the ACK-inactivity watchdog: a flow's
+#: silence threshold never exceeds ``max_silence * WATCHDOG_BACKOFF_CAP``.
+WATCHDOG_BACKOFF_CAP = 8.0
+
+
+@dataclass
+class StallEvent:
+    """One watchdog trip: a flow exceeded its silence threshold."""
+
+    flow_id: int
+    time: float
+    silence: float
+    threshold: float
+    #: True when the stall outlived the maximum (capped) threshold —
+    #: the peer is considered dead and the session should tear down.
+    fatal: bool = False
 
 
 class _DatagramBridge(asyncio.DatagramProtocol):
@@ -65,9 +99,36 @@ class LiveHost:
         self._transport: Optional[asyncio.DatagramTransport] = None
         self.datagrams_in = 0
         self.datagrams_out = 0
-        self.decode_errors = 0
+        self.wire_errors = 0     # every datagram that failed to parse ...
+        self.truncated = 0       # ... of which: shorter than declared
+        self.corrupted = 0       # ... of which: CRC-32 mismatch
         self.unroutable = 0
         self.socket_errors = 0
+        # -- ACK-inactivity watchdog state --
+        self.stalls: List[StallEvent] = []
+        self._last_ack: Dict[int, float] = {}
+        self._stall_backoff: Dict[int, float] = {}
+        self._watchdog_handle = None
+        self._watchdog_silence: Optional[float] = None
+        self._on_stall: Optional[Callable[[StallEvent], None]] = None
+
+    @property
+    def decode_errors(self) -> int:
+        """Alias kept for pre-hardening callers: total parse failures."""
+        return self.wire_errors
+
+    def counters(self) -> dict:
+        """JSON-safe snapshot of the datagram accounting."""
+        return {
+            "datagrams_in": self.datagrams_in,
+            "datagrams_out": self.datagrams_out,
+            "wire_errors": self.wire_errors,
+            "truncated": self.truncated,
+            "corrupted": self.corrupted,
+            "unroutable": self.unroutable,
+            "socket_errors": self.socket_errors,
+            "stalls": len(self.stalls),
+        }
 
     # ------------------------------------------------------------------
     # Socket lifecycle
@@ -88,6 +149,7 @@ class LiveHost:
         return self._transport.get_extra_info("sockname")[:2]
 
     def close(self) -> None:
+        self.stop_watchdog()
         for sender in self.senders.values():
             if sender.running:
                 sender.stop()
@@ -111,6 +173,67 @@ class LiveHost:
         self.receivers[receiver.flow_id] = receiver
 
     # ------------------------------------------------------------------
+    # ACK-inactivity watchdog
+    # ------------------------------------------------------------------
+    def start_watchdog(self, max_silence: float,
+                       on_stall: Optional[Callable[[StallEvent], None]] = None,
+                       interval: Optional[float] = None) -> None:
+        """Arm the per-flow ACK-inactivity watchdog.
+
+        Each sender flow that has started is expected to hear an ACK at
+        least every ``max_silence`` seconds.  When a flow goes quiet its
+        threshold doubles per trip (capped at
+        ``max_silence * WATCHDOG_BACKOFF_CAP``) so a congested-but-alive
+        peer is probed with backoff rather than spammed with verdicts;
+        an ACK resets the flow's backoff to 1.  A stall that exceeds the
+        *capped* threshold is marked ``fatal`` — the peer is presumed
+        dead — and handed to ``on_stall`` for teardown.
+        """
+        if max_silence <= 0:
+            raise ValueError("max_silence must be positive")
+        if self._watchdog_handle is not None:
+            raise RuntimeError(f"{self.name}: watchdog already armed")
+        self._watchdog_silence = max_silence
+        self._on_stall = on_stall
+        self._watchdog_interval = (interval if interval is not None
+                                   else max(max_silence / 4.0, 0.05))
+        now = self.clock.now
+        for flow_id in self.senders:
+            self._last_ack.setdefault(flow_id, now)
+            self._stall_backoff.setdefault(flow_id, 1.0)
+        self._watchdog_handle = self.clock.schedule(
+            self._watchdog_interval, self._watchdog_tick)
+
+    def stop_watchdog(self) -> None:
+        if self._watchdog_handle is not None:
+            self._watchdog_handle.cancel()
+            self._watchdog_handle = None
+
+    def _watchdog_tick(self) -> None:
+        self._watchdog_handle = None
+        if self._watchdog_silence is None:
+            return
+        now = self.clock.now
+        cap = self._watchdog_silence * WATCHDOG_BACKOFF_CAP
+        for flow_id, sender in self.senders.items():
+            if not sender.running:
+                continue
+            silence = now - self._last_ack.get(flow_id, now)
+            threshold = min(self._watchdog_silence
+                            * self._stall_backoff[flow_id], cap)
+            if silence < threshold:
+                continue
+            event = StallEvent(flow_id=flow_id, time=now, silence=silence,
+                               threshold=threshold, fatal=silence >= cap)
+            self.stalls.append(event)
+            self._stall_backoff[flow_id] = min(
+                self._stall_backoff[flow_id] * 2.0, WATCHDOG_BACKOFF_CAP)
+            if self._on_stall is not None:
+                self._on_stall(event)
+        self._watchdog_handle = self.clock.schedule(
+            self._watchdog_interval, self._watchdog_tick)
+
+    # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
     def _transmit(self, packet: Packet) -> None:
@@ -125,8 +248,16 @@ class LiveHost:
         self.datagrams_in += 1
         try:
             packet = decode_packet(data)
+        except WireTruncatedError:
+            self.wire_errors += 1
+            self.truncated += 1
+            return
+        except WireChecksumError:
+            self.wire_errors += 1
+            self.corrupted += 1
+            return
         except WireFormatError:
-            self.decode_errors += 1
+            self.wire_errors += 1
             return
         if self._learn_peer:
             self.peer = addr
@@ -135,6 +266,8 @@ class LiveHost:
             if sender is None:
                 self.unroutable += 1
                 return
+            self._last_ack[packet.flow_id] = self.clock.now
+            self._stall_backoff[packet.flow_id] = 1.0
             sender.on_ack(packet)
         else:
             receiver = self.receivers.get(packet.flow_id)

@@ -7,9 +7,23 @@ slot (Sprout forecasts, aggregated-ACK batches), and zero padding up to
 the packet's declared wire size so a DATA datagram occupies as many
 bytes on the loopback as its simulated counterpart claims to.
 
-Versioning: the first five bytes are a magic tag plus a version number.
-Decoders reject unknown magics outright and refuse versions newer than
-they understand, so a future v2 sender fails loudly against a v1
+Version 2 hardens the parse path so a corrupted datagram fails
+*deterministically* instead of producing a garbage ``Packet``:
+
+* the header ends in a CRC-32 computed over the **entire datagram**
+  (with the checksum field zeroed), so any bit flip — header, payload
+  or padding — is caught;
+* the datagram length must equal exactly what the header declares
+  (``max(header + payload_len, min(size, MAX_DATAGRAM))``), so
+  truncation and length-field corruption are caught even before the
+  checksum;
+* a JSON payload must decode to a dict (the only shape protocols emit).
+
+Failures raise :class:`WireFormatError` — with :class:`WireTruncatedError`
+and :class:`WireChecksumError` subclasses so receivers can account
+truncations and corruptions separately — and never ``struct.error`` or
+``KeyError``.  Decoders reject unknown magics outright and refuse any
+version other than their own, so a v1 peer fails loudly against a v2
 receiver instead of silently mis-parsing.
 """
 
@@ -17,6 +31,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import Optional
 
 from ..netsim.packet import Packet
@@ -24,7 +39,7 @@ from ..netsim.packet import Packet
 #: Magic tag opening every datagram.
 WIRE_MAGIC = b"VRS!"
 #: Current wire format version.
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 #: Largest payload a UDP datagram can carry; datagrams are never padded
 #: beyond this.
@@ -36,17 +51,34 @@ _FLAG_ECN = 1 << 2
 _FLAG_PAYLOAD = 1 << 3
 
 # magic, version, flags, flow_id, seq, ack_seq, sent_time,
-# echo_sent_time, window_at_send, size, payload_len
-_HEADER = struct.Struct("!4sBBHqqdddIH")
+# echo_sent_time, window_at_send, size, payload_len, checksum
+_HEADER = struct.Struct("!4sBBHqqdddIHI")
+#: Offset of the trailing u32 checksum field inside the header.
+_CHECKSUM_OFFSET = _HEADER.size - 4
 
 
 class WireFormatError(ValueError):
     """Raised when a datagram cannot be parsed as a protocol packet."""
 
 
+class WireTruncatedError(WireFormatError):
+    """The datagram is shorter than its header declares."""
+
+
+class WireChecksumError(WireFormatError):
+    """The datagram's CRC-32 does not match its contents."""
+
+
 def header_size() -> int:
     """Size in bytes of the fixed packet header."""
     return _HEADER.size
+
+
+def datagram_checksum(data: bytes) -> int:
+    """CRC-32 of a datagram with its checksum field zeroed."""
+    blanked = (data[:_CHECKSUM_OFFSET] + b"\x00\x00\x00\x00"
+               + data[_HEADER.size:])
+    return zlib.crc32(blanked) & 0xFFFFFFFF
 
 
 def encode_packet(packet: Packet) -> bytes:
@@ -76,36 +108,58 @@ def encode_packet(packet: Packet) -> bytes:
         WIRE_MAGIC, WIRE_VERSION, flags,
         packet.flow_id & 0xFFFF, packet.seq, packet.ack_seq,
         packet.sent_time, packet.echo_sent_time, packet.window_at_send,
-        packet.size, len(payload))
-    datagram = header + payload
+        packet.size, len(payload), 0)
+    datagram = bytearray(header + payload)
     target = min(packet.size, MAX_DATAGRAM)
     if len(datagram) < target:
         datagram += b"\x00" * (target - len(datagram))
-    return datagram
+    crc = zlib.crc32(datagram) & 0xFFFFFFFF   # checksum field is still 0
+    struct.pack_into("!I", datagram, _CHECKSUM_OFFSET, crc)
+    return bytes(datagram)
 
 
 def decode_packet(data: bytes) -> Packet:
-    """Parse a datagram produced by :func:`encode_packet`."""
+    """Parse a datagram produced by :func:`encode_packet`.
+
+    Raises :class:`WireTruncatedError` for short datagrams,
+    :class:`WireChecksumError` for bit corruption, and plain
+    :class:`WireFormatError` for everything else — never ``struct.error``
+    or a garbage ``Packet``.
+    """
     if len(data) < _HEADER.size:
-        raise WireFormatError(
+        raise WireTruncatedError(
             f"datagram of {len(data)} bytes is shorter than the "
             f"{_HEADER.size}-byte header")
     (magic, version, flags, flow_id, seq, ack_seq, sent_time,
-     echo_sent_time, window_at_send, size, payload_len) = _HEADER.unpack_from(data)
+     echo_sent_time, window_at_send, size, payload_len,
+     checksum) = _HEADER.unpack_from(data)
     if magic != WIRE_MAGIC:
         raise WireFormatError(f"bad magic {magic!r}")
     if version > WIRE_VERSION:
         raise WireFormatError(
             f"wire version {version} is newer than supported ({WIRE_VERSION})")
+    if version < WIRE_VERSION:
+        raise WireFormatError(
+            f"wire version {version} is older than supported ({WIRE_VERSION})")
+    expected = max(_HEADER.size + payload_len, min(size, MAX_DATAGRAM))
+    if len(data) < expected:
+        raise WireTruncatedError(
+            f"datagram of {len(data)} bytes, header declares {expected}")
+    if len(data) > expected:
+        raise WireFormatError(
+            f"datagram of {len(data)} bytes exceeds declared {expected}")
+    if datagram_checksum(data) != checksum:
+        raise WireChecksumError("datagram failed its CRC-32 check")
     payload: Optional[dict] = None
     if flags & _FLAG_PAYLOAD:
         raw = data[_HEADER.size:_HEADER.size + payload_len]
-        if len(raw) < payload_len:
-            raise WireFormatError("truncated payload")
         try:
             payload = json.loads(raw.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise WireFormatError(f"bad payload: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise WireFormatError(
+                f"payload must be a JSON object, got {type(payload).__name__}")
     return Packet(
         flow_id=flow_id,
         seq=seq,

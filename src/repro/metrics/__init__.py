@@ -2,6 +2,7 @@
 Jain's fairness index (eq. 7)."""
 
 from .fairness import jain_index, windowed_jain_index, worst_case_index
+from .recovery import RecoveryStats, recovery_stats
 from .stats import (
     Delivery,
     FlowStats,
@@ -19,6 +20,8 @@ __all__ = [
     "delay_cdf",
     "flow_stats",
     "jain_index",
+    "RecoveryStats",
+    "recovery_stats",
     "windowed_delay",
     "windowed_jain_index",
     "windowed_throughput",

@@ -1,0 +1,118 @@
+"""Post-disruption recovery as a first-class metric.
+
+The chaos acceptance matrix (see :mod:`repro.faults`) asserts that every
+protocol *recovers* after a blackout: the session must keep terminating
+cleanly and the flow must re-inflate its delivery rate within a deadline
+once the link comes back.  This module reduces receiver delivery records
+to that verdict.
+
+Recovery time is measured the way an operator would read a rate graph:
+the first instant ``t`` after the disruption ends at which the windowed
+throughput over ``[t, t+window)`` regains at least ``fraction`` of the
+pre-disruption throughput.  A flow that never moved before the
+disruption counts as recovered as soon as it delivers anything at all
+afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .stats import Delivery
+
+
+@dataclass
+class RecoveryStats:
+    """Verdict for one flow against one disruption window."""
+
+    flow_id: int
+    label: str
+    disruption_start: Optional[float]
+    disruption_end: Optional[float]
+    pre_throughput_bps: float
+    recovery_time: Optional[float]
+    recovered: bool
+    deadline: float
+    post_packets: int
+
+    def to_dict(self) -> dict:
+        return {
+            "flow_id": self.flow_id,
+            "label": self.label,
+            "disruption_start": self.disruption_start,
+            "disruption_end": self.disruption_end,
+            "pre_throughput_bps": float(self.pre_throughput_bps),
+            "recovery_time": (None if self.recovery_time is None
+                              else float(self.recovery_time)),
+            "recovered": bool(self.recovered),
+            "deadline": float(self.deadline),
+            "post_packets": int(self.post_packets),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RecoveryStats":
+        return cls(**payload)
+
+
+def _throughput(rows: Sequence[Delivery], start: float, end: float) -> float:
+    span = max(end - start, 1e-9)
+    size = sum(d[3] for d in rows if start <= d[0] < end)
+    return size * 8.0 / span
+
+
+def recovery_stats(deliveries: Sequence[Delivery],
+                   disruption_start: Optional[float],
+                   disruption_end: Optional[float],
+                   *, flow_id: int = 0, label: str = "",
+                   window: float = 0.5, fraction: float = 0.3,
+                   deadline: float = 5.0,
+                   pre_span: float = 2.0) -> RecoveryStats:
+    """Judge one flow's recovery from a disruption window.
+
+    ``disruption_start``/``disruption_end`` of ``None`` mean the run had
+    no disruption at all; the flow then counts as recovered iff it
+    delivered anything (the degenerate healthy case).
+    """
+    if window <= 0 or deadline <= 0 or pre_span <= 0:
+        raise ValueError("window, deadline and pre_span must be positive")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rows = list(deliveries)
+    if disruption_end is None:
+        return RecoveryStats(
+            flow_id=flow_id, label=label, disruption_start=None,
+            disruption_end=None,
+            pre_throughput_bps=_throughput(rows, 0.0, float("inf")),
+            recovery_time=0.0 if rows else None, recovered=bool(rows),
+            deadline=deadline, post_packets=len(rows))
+
+    pre_rows = [d for d in rows
+                if disruption_start - pre_span <= d[0] < disruption_start]
+    pre_tput = _throughput(pre_rows, disruption_start - pre_span,
+                           disruption_start)
+    post_rows = [d for d in rows if d[0] >= disruption_end]
+
+    recovery_time: Optional[float] = None
+    if pre_tput <= 0.0:
+        # Nothing to re-attain: first delivery after the disruption is
+        # the recovery signal.
+        if post_rows:
+            recovery_time = min(d[0] for d in post_rows) - disruption_end
+    else:
+        target = fraction * pre_tput
+        step = window / 2.0
+        t = disruption_end
+        while t - disruption_end <= deadline:
+            if _throughput(post_rows, t, t + window) >= target:
+                recovery_time = t - disruption_end
+                break
+            t += step
+
+    recovered = recovery_time is not None and recovery_time <= deadline
+    return RecoveryStats(
+        flow_id=flow_id, label=label,
+        disruption_start=disruption_start, disruption_end=disruption_end,
+        pre_throughput_bps=pre_tput, recovery_time=recovery_time,
+        recovered=recovered, deadline=deadline,
+        post_packets=len(post_rows))

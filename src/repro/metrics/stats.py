@@ -30,6 +30,10 @@ class FlowStats:
     median_delay: float
     p95_delay: float
     max_delay: float
+    #: Repeat arrivals of an already-delivered sequence number (duplicating
+    #: links, spurious retransmissions).  Excluded from every other figure:
+    #: goodput counts each sequence number once.
+    duplicate_packets: int = 0
 
     @property
     def throughput_mbps(self) -> float:
@@ -68,6 +72,7 @@ class FlowStats:
             "median_delay": _num(self.median_delay),
             "p95_delay": _num(self.p95_delay),
             "max_delay": _num(self.max_delay),
+            "duplicate_packets": int(self.duplicate_packets),
         }
 
     @classmethod
@@ -88,6 +93,8 @@ class FlowStats:
             median_delay=_num(payload["median_delay"]),
             p95_delay=_num(payload["p95_delay"]),
             max_delay=_num(payload["max_delay"]),
+            # Absent in payloads persisted before the field existed.
+            duplicate_packets=int(payload.get("duplicate_packets", 0)),
         )
 
 
@@ -98,27 +105,44 @@ def flow_stats(deliveries: Sequence[Delivery], flow_id: int = 0,
 
     ``start`` defaults to dropping nothing; pass a warm-up cutoff to
     exclude slow-start transients, as the paper's averaged figures do.
+
+    Statistics are *goodput*: only the first arrival of each sequence
+    number counts towards bytes/packets/delay — repeat arrivals (a
+    duplicating link, a spurious retransmission racing the original)
+    are tallied separately in ``duplicate_packets`` so they can never
+    double-count throughput.
     """
     rows = [d for d in deliveries if d[0] >= start and (end is None or d[0] < end)]
     if end is None:
         end = max((d[0] for d in rows), default=start)
     duration = max(end - start, 1e-9)
-    if not rows:
+    seen = set()
+    unique_rows = []
+    duplicates = 0
+    for row in rows:
+        if row[1] in seen:
+            duplicates += 1
+            continue
+        seen.add(row[1])
+        unique_rows.append(row)
+    if not unique_rows:
         return FlowStats(flow_id, label, duration, 0, 0, 0.0,
-                         float("nan"), float("nan"), float("nan"), float("nan"))
-    delays = np.array([d[2] for d in rows])
-    size = sum(d[3] for d in rows)
+                         float("nan"), float("nan"), float("nan"), float("nan"),
+                         duplicate_packets=duplicates)
+    delays = np.array([d[2] for d in unique_rows])
+    size = sum(d[3] for d in unique_rows)
     return FlowStats(
         flow_id=flow_id,
         label=label,
         duration=duration,
         bytes_received=size,
-        packets_received=len(rows),
+        packets_received=len(unique_rows),
         throughput_bps=size * 8.0 / duration,
         mean_delay=float(delays.mean()),
         median_delay=float(np.median(delays)),
         p95_delay=float(np.percentile(delays, 95)),
         max_delay=float(delays.max()),
+        duplicate_packets=duplicates,
     )
 
 

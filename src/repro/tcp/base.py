@@ -189,6 +189,13 @@ class TcpSender(SenderProtocol):
             self._sack_retransmit()
         if not self._in_fast_recovery or self.sack:
             self._fill_window_recovery_aware()
+        # An ACK that emptied the flight disarms the timer above, but the
+        # window refill just put new segments in the air.  Without a
+        # timer those segments have no loss backstop: if the whole burst
+        # dies (a blackout, a corruption storm) no ACK ever returns and
+        # the sender deadlocks silently.
+        if self._rto_event is None and self.flight() > 0:
+            self._arm_rto()
 
     def _handle_new_ack(self, ack: int, packet: Packet) -> None:
         newly_acked = ack - self.snd_una

@@ -223,3 +223,33 @@ class TestSackRecovery:
         stats = flow_stats(receiver.deliveries, start=12.0, end=20.0)
         assert sender.timeouts > 0
         assert stats.throughput_bps > 2e6
+
+    def test_rto_armed_after_flight_emptying_ack_refills_window(self):
+        """Regression: an ACK that empties the flight disarms the RTO,
+        and the window refill inside the same on_ack used to leave the
+        fresh burst with no timer — lose that burst and the sender
+        deadlocked forever (surfaced by the chaos matrix's corruption
+        windows)."""
+        sim = Simulator()
+        sent = []
+        sender = CubicSender(0)
+        sender.attach(sim, sent.append)
+        sender.start()
+        sim.run(until=0.1)
+        assert sent
+
+        last = max(p.seq for p in sent)
+        ack = Packet(flow_id=0, seq=0, is_ack=True, ack_seq=last + 1,
+                     echo_sent_time=sent[-1].sent_time)
+        n_before = len(sent)
+        sim.schedule_at(0.1, sender.on_ack, ack)
+        sim.run(until=0.2)
+        # The cumulative ACK cleared everything, then the refill put new
+        # segments in the air — they must have a retransmission timer.
+        assert len(sent) > n_before
+        assert sender.flight() > 0
+        assert sender._rto_event is not None and sender._rto_event.active
+        # Lose the whole burst (deliver nothing): the RTO must fire.
+        timeouts_before = sender.timeouts
+        sim.run(until=60.0)
+        assert sender.timeouts > timeouts_before

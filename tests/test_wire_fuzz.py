@@ -1,0 +1,168 @@
+"""Fuzz and property tests for the hardened wire format and the
+impairment links.
+
+The wire contract after hardening: :func:`decode_packet` either returns
+a :class:`Packet` or raises :class:`WireFormatError` (or a subclass) —
+never any other exception — no matter what bytes arrive.  The trailing
+CRC-32 covers the whole datagram, so *any* single-bit flip and *any*
+truncation of a valid datagram is rejected deterministically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live import (
+    WireChecksumError,
+    WireFormatError,
+    WireTruncatedError,
+    decode_packet,
+    encode_packet,
+    header_size,
+)
+from repro.netsim import Packet, Simulator
+from repro.netsim.impairments import (
+    DuplicatingLink,
+    JitterLink,
+    ReorderingLink,
+)
+
+
+def _sample_datagram(payload=None, size=96):
+    packet = Packet(flow_id=2, seq=41, size=size, sent_time=1.5,
+                    window_at_send=12.0)
+    if payload is not None:
+        packet.payload = payload
+    return encode_packet(packet)
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+
+class TestWireFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=300, deadline=None)
+    def test_random_bytes_raise_only_wire_format_error(self, data):
+        try:
+            decode_packet(data)
+        except WireFormatError:
+            pass    # the only permitted failure mode
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_random_suffix_on_valid_header_still_contained(self, tail):
+        data = _sample_datagram()
+        try:
+            decode_packet(data + tail)
+        except WireFormatError:
+            pass
+
+    def test_every_truncation_is_rejected_as_truncated(self):
+        data = _sample_datagram(payload={"acked": [1, 2, 3]})
+        for cut in range(len(data)):
+            with pytest.raises(WireTruncatedError):
+                decode_packet(data[:cut])
+
+    def test_every_single_bit_flip_is_rejected(self):
+        # Full-datagram CRC-32: no single-bit error can slip through,
+        # wherever it lands (header, padding, payload or the CRC itself).
+        data = _sample_datagram(payload={"acked": [7]})
+        for byte in range(len(data)):
+            for bit in range(8):
+                mutated = bytearray(data)
+                mutated[byte] ^= 1 << bit
+                with pytest.raises(WireFormatError):
+                    decode_packet(bytes(mutated))
+
+    def test_checksum_error_is_distinguishable(self):
+        data = bytearray(_sample_datagram())
+        data[-1] ^= 0x40    # flip inside padding: only the CRC notices
+        with pytest.raises(WireChecksumError):
+            decode_packet(bytes(data))
+
+    @given(flow_id=st.integers(min_value=0, max_value=65535),
+           seq=st.integers(min_value=0, max_value=2**40),
+           size=st.integers(min_value=1, max_value=1500),
+           sent_time=st.floats(min_value=0.0, max_value=1e6,
+                               allow_nan=False),
+           window=st.floats(min_value=0.0, max_value=1e6,
+                            allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, flow_id, seq, size, sent_time,
+                                 window):
+        packet = Packet(flow_id=flow_id, seq=seq, size=size,
+                        sent_time=sent_time, window_at_send=window)
+        out = decode_packet(encode_packet(packet))
+        assert (out.flow_id, out.seq, out.size) == (flow_id, seq, size)
+        assert out.sent_time == sent_time
+        assert out.window_at_send == window
+
+    @given(acked=st.lists(st.integers(min_value=0, max_value=2**31),
+                          max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_payload_round_trip(self, acked):
+        data = _sample_datagram(payload={"acked": acked},
+                                size=header_size())
+        assert decode_packet(data).payload == {"acked": acked}
+
+
+# ----------------------------------------------------------------------
+# Impairment-link properties
+# ----------------------------------------------------------------------
+
+def _feed(link, count, spacing=0.001):
+    sim = link.sim
+    arrivals = []
+    link.dst = lambda p: arrivals.append((sim.now, p.seq))
+    for seq in range(count):
+        sim.schedule_at(seq * spacing, link.send, Packet(flow_id=0, seq=seq))
+    sim.run()
+    return arrivals
+
+
+class TestImpairmentProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           count=st.integers(min_value=1, max_value=60),
+           jitter=st.floats(min_value=1e-4, max_value=0.05,
+                            allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_jitter_link_conserves_and_bounds_delay(self, seed, count,
+                                                    jitter):
+        sim = Simulator()
+        link = JitterLink(sim, base_delay=0.01, jitter=jitter,
+                          rng=np.random.default_rng(seed))
+        arrivals = _feed(link, count)
+        assert sorted(seq for _, seq in arrivals) == list(range(count))
+        for arrival, seq in arrivals:
+            extra = arrival - seq * 0.001 - 0.01
+            assert -1e-9 <= extra <= jitter + 1e-9
+
+    @given(count=st.integers(min_value=1, max_value=80),
+           every_n=st.integers(min_value=2, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_reordering_link_conserves_and_bounds_hold(self, count,
+                                                       every_n):
+        sim = Simulator()
+        link = ReorderingLink(sim, delay=0.01, every_n=every_n,
+                              hold_time=0.005)
+        arrivals = _feed(link, count)
+        assert sorted(seq for _, seq in arrivals) == list(range(count))
+        assert link.reordered == count // every_n
+        for arrival, seq in arrivals:
+            extra = arrival - seq * 0.001 - 0.01
+            assert -1e-9 <= extra <= 0.005 + 1e-9
+
+    @given(count=st.integers(min_value=1, max_value=80),
+           every_n=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicating_link_adds_exactly_the_duplicates(self, count,
+                                                          every_n):
+        sim = Simulator()
+        link = DuplicatingLink(sim, delay=0.01, every_n=every_n)
+        arrivals = _feed(link, count)
+        assert len(arrivals) == count + count // every_n
+        assert link.duplicated == count // every_n
+        # Every sequence number still arrives at least once.
+        assert set(seq for _, seq in arrivals) == set(range(count))
