@@ -1,0 +1,103 @@
+"""Differential sim ↔ live harness.
+
+The same seeded scenario — identical trace, identical flow specs — runs
+through the discrete-event simulator and the live UDP loopback path, and
+the resulting per-flow statistics are compared within calibrated
+envelopes.  The two backends share the protocol objects but nothing else
+(scheduling, clocks, packet transport all differ), so the envelope is
+deliberately generous: it catches a backend that stops resembling the
+other (an order-of-magnitude throughput gap, nonsensical delays), not
+scheduler-level noise.
+
+On hosts without UDP loopback (sandboxed CI runners) the harness reports
+``skipped`` rather than failing: hermeticity is handled by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Sim and live per-flow throughputs must agree within this factor — the
+#: same envelope the live test suite has used since the UDP path landed.
+THROUGHPUT_RATIO = 3.0
+#: Sanity bounds on the live path's mean one-way delay (seconds).
+MAX_LIVE_DELAY = 5.0
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one sim ↔ live comparison."""
+
+    protocol: str
+    status: str = "fail"            # ok | skipped | fail
+    messages: List[str] = field(default_factory=list)
+    sim_throughput_bps: float = 0.0
+    live_throughput_bps: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "skipped")
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "status": self.status,
+            "messages": list(self.messages),
+            "sim_throughput_bps": self.sim_throughput_bps,
+            "live_throughput_bps": self.live_throughput_bps,
+        }
+
+
+def run_differential(protocol: str = "verus", duration: float = 3.0,
+                     seed: int = 11,
+                     scenario: str = "city_stationary") -> DifferentialResult:
+    """Run one protocol through both backends and compare the stats."""
+    from ..cellular import generate_scenario_trace
+    from ..experiments.runner import FlowSpec, run_trace_contention
+    from ..live import LiveSessionError, run_live_session
+
+    outcome = DifferentialResult(protocol=protocol)
+    options = {"r": 2.0} if protocol == "verus" else {}
+    specs = [FlowSpec(protocol=protocol, options=options)]
+    trace = generate_scenario_trace(scenario, duration=max(duration, 1.0),
+                                    technology="3g", seed=seed)
+    warmup = min(1.0, duration / 5.0)
+
+    sim_result = run_trace_contention(trace, specs, duration=duration,
+                                      warmup=warmup, seed=seed)
+    sim_stats = sim_result.stats(0)
+    outcome.sim_throughput_bps = sim_stats.throughput_bps
+
+    try:
+        live_result = run_live_session(specs, trace=trace, duration=duration,
+                                       warmup=warmup, seed=seed)
+    except (LiveSessionError, OSError) as exc:
+        outcome.status = "skipped"
+        outcome.messages.append(f"live backend unavailable: {exc}")
+        return outcome
+
+    live_stats = live_result.stats(0)
+    outcome.live_throughput_bps = live_stats.throughput_bps
+
+    if live_result.degraded:
+        outcome.messages.append(
+            f"live session degraded: {live_result.degraded_reason}")
+    if sim_stats.packets_received == 0:
+        outcome.messages.append("sim backend delivered no packets")
+    if live_stats.packets_received == 0:
+        outcome.messages.append("live backend delivered no packets")
+    if sim_stats.throughput_bps > 0 and live_stats.throughput_bps > 0:
+        ratio = sim_stats.throughput_bps / live_stats.throughput_bps
+        if not (1.0 / THROUGHPUT_RATIO <= ratio <= THROUGHPUT_RATIO):
+            outcome.messages.append(
+                f"throughput envelope: sim {sim_stats.throughput_mbps:.2f} "
+                f"Mbps vs live {live_stats.throughput_mbps:.2f} Mbps "
+                f"(ratio {ratio:.2f}, allowed x{THROUGHPUT_RATIO:g})")
+    if not 0.0 <= live_stats.mean_delay <= MAX_LIVE_DELAY:
+        outcome.messages.append(
+            f"live mean delay {live_stats.mean_delay:.3f}s outside "
+            f"[0, {MAX_LIVE_DELAY:g}]s")
+
+    outcome.status = "fail" if outcome.messages else "ok"
+    return outcome

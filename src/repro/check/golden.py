@@ -1,0 +1,129 @@
+"""Golden-trace oracle: content-addressed reference traces with banded diffs.
+
+A golden file under ``tests/golden/`` pins one protocol's behaviour on its
+check scenario as epoch-level ``(t, W, D_est, delay)`` rows.  The file
+records the scenario's content address, so a scenario edit is detected as
+"re-bless needed" rather than misreported as behavioural drift, and a
+tolerance band, so the diff fails loudly on drift without chasing noise.
+
+Files are written in canonical JSON (sorted keys, compact separators,
+trailing newline): the same deterministic run always produces the same
+bytes, which is what makes ``--bless`` idempotent and the acceptance
+criterion "bit-identical across runs" checkable with a plain file compare.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .scenarios import CheckScenario
+
+GOLDEN_SCHEMA = 1
+COLUMNS = ("time", "window", "set_point", "delay")
+
+#: Per-column tolerance bands: a cell matches when it is within ``abs`` or
+#: within ``rel`` of the blessed value.  Time is sampled on a fixed grid
+#: and must match almost exactly; the behavioural columns get a small
+#: relative band so a legitimate refactor of float evaluation order does
+#: not force a re-bless.
+DEFAULT_TOLERANCE: Dict[str, Dict[str, float]] = {
+    "time": {"rel": 0.0, "abs": 1e-6},
+    "window": {"rel": 0.05, "abs": 0.5},
+    "set_point": {"rel": 0.05, "abs": 0.002},
+    "delay": {"rel": 0.10, "abs": 0.005},
+}
+
+#: Fraction of rows allowed outside the band before the diff fails.  Zero:
+#: the runs are deterministic, so any out-of-band cell is genuine drift.
+MAX_BAD_FRACTION = 0.0
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden/`` of the repository this package lives in."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def golden_path(golden_dir, protocol: str) -> Path:
+    return Path(golden_dir) / f"{protocol}.json"
+
+
+def render_golden(scenario: CheckScenario,
+                  rows: Sequence[Sequence[float]]) -> str:
+    """Canonical file content for a golden trace (deterministic bytes)."""
+    payload = {
+        "schema": GOLDEN_SCHEMA,
+        "protocol": scenario.protocol,
+        "scenario": scenario.to_dict(),
+        "scenario_key": scenario.key(),
+        "columns": list(COLUMNS),
+        "tolerance": DEFAULT_TOLERANCE,
+        "rows": [list(row) for row in rows],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_golden(path, scenario: CheckScenario,
+                 rows: Sequence[Sequence[float]]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_golden(scenario, rows))
+    return path
+
+
+def load_golden(path) -> Optional[dict]:
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _within(value: float, blessed: float, band: Dict[str, float]) -> bool:
+    diff = abs(value - blessed)
+    return (diff <= band.get("abs", 0.0)
+            or diff <= band.get("rel", 0.0) * abs(blessed))
+
+
+def compare_golden(blessed: Optional[dict], scenario: CheckScenario,
+                   rows: Sequence[Sequence[float]],
+                   max_messages: int = 5) -> List[str]:
+    """Diff fresh ``rows`` against a blessed trace.
+
+    Returns a list of human-readable drift messages; empty means the
+    trace matches within tolerance.
+    """
+    if blessed is None:
+        return [f"no golden trace for {scenario.protocol!r} "
+                f"(run `repro check --bless`)"]
+    if blessed.get("schema") != GOLDEN_SCHEMA:
+        return [f"golden schema {blessed.get('schema')!r} != "
+                f"{GOLDEN_SCHEMA} (re-bless)"]
+    if blessed.get("scenario_key") != scenario.key():
+        return ["check scenario definition changed since the trace was "
+                "blessed (re-bless)"]
+    blessed_rows = blessed.get("rows", [])
+    if len(blessed_rows) != len(rows):
+        return [f"row count changed: blessed {len(blessed_rows)}, "
+                f"fresh {len(rows)}"]
+    tolerance = blessed.get("tolerance", DEFAULT_TOLERANCE)
+    messages: List[str] = []
+    bad = 0
+    for i, (ref, fresh) in enumerate(zip(blessed_rows, rows)):
+        for column, ref_v, fresh_v in zip(COLUMNS, ref, fresh):
+            band = tolerance.get(column, {"rel": 0.0, "abs": 0.0})
+            if not _within(fresh_v, ref_v, band):
+                bad += 1
+                if len(messages) < max_messages:
+                    messages.append(
+                        f"row {i} (t={ref[0]:.3f}s) {column}: "
+                        f"blessed {ref_v:.6g}, got {fresh_v:.6g} "
+                        f"(band rel={band.get('rel', 0)} "
+                        f"abs={band.get('abs', 0)})")
+                break
+    allowed = int(MAX_BAD_FRACTION * len(rows))
+    if bad <= allowed:
+        return []
+    if bad > len(messages):
+        messages.append(f"... {bad} of {len(rows)} rows out of band")
+    return messages

@@ -1,0 +1,189 @@
+"""Mutation smoke: seeded defects that the oracles must catch.
+
+Each mutant monkeypatches one well-defined piece of the implementation —
+disable Verus's eq. 6 loss decrease, break the profile inversion, skip the
+eq. 4 set-point floor, leak packets out of the link's delivery accounting,
+disable Cubic's multiplicative decrease — runs the protocol's audited
+check scenario, and records which oracles (invariant monitors, the golden
+trace, the conservation ledger) noticed.  A mutant nobody catches means
+the conformance net has a hole, and :func:`run_mutation_smoke` reports it
+as a failure.
+
+Patches are applied with try/finally restoration so a crashing mutant can
+never leave the live classes defaced for subsequent code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from .golden import compare_golden, default_golden_dir, golden_path, load_golden
+from .scenarios import build_scenario, run_audited
+
+
+@contextmanager
+def _patched(owner, attr: str, replacement):
+    original = getattr(owner, attr)
+    setattr(owner, attr, replacement)
+    try:
+        yield
+    finally:
+        setattr(owner, attr, original)
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One seeded defect."""
+
+    name: str
+    protocol: str
+    description: str
+    #: Zero-argument callable returning the active patch context manager.
+    apply: Callable = field(compare=False)
+
+
+def _no_loss_decrease():
+    """Eq. 6 disabled: a loss keeps the window that caused it."""
+    from ..core.loss_handler import LossHandler
+
+    def on_loss(self, w_loss):
+        if self.in_recovery:
+            return self._recovery_window
+        self.losses += 1
+        self.in_recovery = True
+        self._recovery_window = max(self.min_window, w_loss)
+        return self._recovery_window
+
+    return _patched(LossHandler, "on_loss", on_loss)
+
+
+def _broken_inversion():
+    """Fig 5 inverse lookup ignores the target and pins at the domain max."""
+    from ..interp.inverse import InverseLookup
+
+    def largest_below(self, target):
+        return float(self.f.domain[1])
+
+    return _patched(InverseLookup, "largest_below", largest_below)
+
+
+def _dest_floor_skip():
+    """Eq. 4 without its D_min floors: the set-point may sink below the
+    propagation floor (and keep sinking)."""
+    from ..core.window_estimator import WindowEstimator
+
+    def update_set_point(self, delta_d, d_max, d_min):
+        if self.d_est is None:
+            raise RuntimeError("set-point not initialised")
+        if d_min <= 0:
+            raise ValueError("d_min must be positive")
+        if d_max / d_min > self.r:
+            self.d_est -= self.delta2
+            self.last_branch = "ratio"
+        elif delta_d > 0:
+            self.d_est -= self.delta1
+            self.last_branch = "backoff"
+        else:
+            self.d_est += self.delta2
+            self.last_branch = "increase"
+        return self.d_est
+
+    return _patched(WindowEstimator, "update_set_point", update_set_point)
+
+
+def _conservation_leak():
+    """The link silently discards every 23rd delivery without counting it
+    anywhere — exactly the accounting bug the conservation ledger exists
+    to catch."""
+    from ..netsim.link import Link
+
+    original = Link._deliver
+    state = {"n": 0}
+
+    def _deliver(self, packet):
+        state["n"] += 1
+        if state["n"] % 23 == 0:
+            return
+        original(self, packet)
+
+    return _patched(Link, "_deliver", _deliver)
+
+
+def _cubic_no_decrease():
+    """Cubic's loss response disabled: ssthresh is set to the pre-loss
+    window, so a congestion signal no longer reduces the rate."""
+    from ..tcp.cubic import CubicSender
+
+    def ssthresh_on_loss(self):
+        return self.cwnd
+
+    return _patched(CubicSender, "ssthresh_on_loss", ssthresh_on_loss)
+
+
+MUTANTS: List[Mutant] = [
+    Mutant(name="verus-no-loss-decrease", protocol="verus",
+           description="eq. 6 disabled (loss keeps the window)",
+           apply=_no_loss_decrease),
+    Mutant(name="verus-broken-inversion", protocol="verus",
+           description="profile inverse pinned at the domain maximum",
+           apply=_broken_inversion),
+    Mutant(name="verus-dest-floor-skip", protocol="verus",
+           description="eq. 4 set-point floor removed",
+           apply=_dest_floor_skip),
+    Mutant(name="link-conservation-leak", protocol="verus",
+           description="link drops every 23rd delivery uncounted",
+           apply=_conservation_leak),
+    Mutant(name="cubic-no-decrease", protocol="cubic",
+           description="Cubic multiplicative decrease disabled",
+           apply=_cubic_no_decrease),
+]
+
+
+@dataclass
+class MutantResult:
+    """Which oracles caught one mutant."""
+
+    name: str
+    protocol: str
+    description: str
+    caught_by: List[str] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def caught(self) -> bool:
+        return bool(self.caught_by)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "protocol": self.protocol,
+                "description": self.description,
+                "caught_by": list(self.caught_by), "error": self.error}
+
+
+def run_mutation_smoke(mutants: List[Mutant] = None,
+                       golden_dir=None) -> List[MutantResult]:
+    """Run every mutant through its audited scenario; report the catches."""
+    if mutants is None:
+        mutants = MUTANTS
+    golden_dir = golden_dir if golden_dir is not None else default_golden_dir()
+    results: List[MutantResult] = []
+    for mutant in mutants:
+        outcome = MutantResult(name=mutant.name, protocol=mutant.protocol,
+                               description=mutant.description)
+        scenario = build_scenario(mutant.protocol)
+        try:
+            with mutant.apply():
+                run = run_audited(scenario)
+        except Exception as exc:   # a crash is a (crude) detection too
+            outcome.caught_by.append("exception")
+            outcome.error = repr(exc)
+            results.append(outcome)
+            continue
+        for monitor in run.report.monitors_violated():
+            outcome.caught_by.append(f"invariant:{monitor}")
+        blessed = load_golden(golden_path(golden_dir, mutant.protocol))
+        if blessed is not None and compare_golden(blessed, scenario, run.rows):
+            outcome.caught_by.append("golden")
+        results.append(outcome)
+    return results

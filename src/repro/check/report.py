@@ -1,0 +1,96 @@
+"""Structured invariant reporting for the conformance subsystem.
+
+Every monitor in :mod:`repro.check.monitors` writes into one shared
+:class:`InvariantReport`: a counter per invariant (how many times it was
+evaluated — a report with zero checks is *not* evidence of correctness)
+plus a list of :class:`Violation` records.  The report is JSON-safe so it
+survives the campaign executor's process boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Violation:
+    """One failed invariant check."""
+
+    monitor: str
+    time: float
+    message: str
+    flow_id: int = 0
+
+    def to_dict(self) -> dict:
+        return {"monitor": self.monitor, "time": self.time,
+                "message": self.message, "flow_id": self.flow_id}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Violation":
+        return cls(**payload)
+
+
+@dataclass
+class InvariantReport:
+    """Aggregated outcome of every monitor attached to one audited run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: invariant name -> number of times it was evaluated
+    checks: Dict[str, int] = field(default_factory=dict)
+    #: Cap on stored violations; a broken invariant fires on nearly every
+    #: event, and ten thousand copies of the same message help nobody.
+    max_violations: int = 200
+    truncated: int = 0
+
+    def count(self, monitor: str, n: int = 1) -> None:
+        self.checks[monitor] = self.checks.get(monitor, 0) + n
+
+    def violate(self, monitor: str, time: float, message: str,
+                flow_id: int = 0) -> None:
+        if len(self.violations) >= self.max_violations:
+            self.truncated += 1
+            return
+        self.violations.append(Violation(monitor=monitor, time=time,
+                                         message=message, flow_id=flow_id))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.truncated == 0
+
+    def total_checks(self) -> int:
+        return sum(self.checks.values())
+
+    def monitors_violated(self) -> List[str]:
+        """Distinct monitor names that reported at least one violation."""
+        seen: List[str] = []
+        for violation in self.violations:
+            if violation.monitor not in seen:
+                seen.append(violation.monitor)
+        return seen
+
+    def summary(self) -> str:
+        if self.ok:
+            return (f"ok ({self.total_checks()} checks across "
+                    f"{len(self.checks)} invariants)")
+        head = "; ".join(f"{v.monitor}@{v.time:.3f}s: {v.message}"
+                         for v in self.violations[:3])
+        extra = len(self.violations) + self.truncated - 3
+        tail = f" (+{extra} more)" if extra > 0 else ""
+        return f"{len(self.violations) + self.truncated} violations: {head}{tail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checks": dict(self.checks),
+            "truncated": self.truncated,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InvariantReport":
+        report = cls(checks=dict(payload.get("checks", {})),
+                     truncated=int(payload.get("truncated", 0)))
+        report.violations = [Violation.from_dict(v)
+                             for v in payload.get("violations", [])]
+        return report

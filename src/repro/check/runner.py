@@ -1,0 +1,152 @@
+"""Conformance runner: audited scenarios through the campaign executor.
+
+:func:`run_check_task` is the module-level (picklable) task function, so
+the per-protocol audited runs parallelise through the same crash-isolated
+process pool the sweep and chaos matrices use.  Determinism does the rest:
+a ``--jobs N`` conformance run produces bit-identical golden rows to a
+serial one because each task's result depends only on its scenario.
+
+:func:`run_conformance` is the full ``repro check`` pipeline: audited
+runs (invariants + golden diff or ``--bless``), then the sim ↔ live
+differential harness, then the mutation smoke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..campaign.executor import ExecutorStats, run_tasks
+from .differential import DifferentialResult, run_differential
+from .golden import (
+    compare_golden,
+    default_golden_dir,
+    golden_path,
+    load_golden,
+    write_golden,
+)
+from .mutation import MutantResult, run_mutation_smoke
+from .scenarios import CHECK_PROTOCOLS, CheckScenario, build_scenario, run_audited
+
+#: Protocols exercised by the differential harness (each costs its
+#: ``duration`` in wall-clock seconds, so the default list is short).
+DIFFERENTIAL_PROTOCOLS = ("verus", "cubic")
+
+
+def run_check_task(payload: dict) -> dict:
+    """Execute one audited scenario; JSON-safe result (pool-friendly)."""
+    scenario = CheckScenario.from_dict(payload)
+    run = run_audited(scenario)
+    return {
+        "protocol": scenario.protocol,
+        "scenario_key": scenario.key(),
+        "invariants": run.report.to_dict(),
+        "rows": run.rows,
+        "counts": run.counts,
+    }
+
+
+@dataclass
+class CheckRow:
+    """Outcome of one protocol's audited run + golden diff."""
+
+    protocol: str
+    status: str = "fail"            # ok | blessed | fail
+    invariant_summary: str = ""
+    checks: int = 0
+    golden_status: str = ""
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "blessed")
+
+    def to_dict(self) -> dict:
+        return {"protocol": self.protocol, "status": self.status,
+                "invariants": self.invariant_summary, "checks": self.checks,
+                "golden": self.golden_status}
+
+
+@dataclass
+class ConformanceResult:
+    """Everything one ``repro check`` run produced."""
+
+    rows: List[CheckRow] = field(default_factory=list)
+    differential: List[DifferentialResult] = field(default_factory=list)
+    mutants: List[MutantResult] = field(default_factory=list)
+    blessed_paths: List[str] = field(default_factory=list)
+    stats: Optional[ExecutorStats] = None
+
+    @property
+    def ok(self) -> bool:
+        return (all(row.ok for row in self.rows)
+                and all(d.ok for d in self.differential)
+                and all(m.caught for m in self.mutants))
+
+
+def run_conformance(protocols: Optional[Sequence[str]] = None,
+                    golden_dir=None, jobs: int = 1, bless: bool = False,
+                    with_differential: bool = True,
+                    with_mutation: bool = True,
+                    differential_duration: float = 3.0,
+                    log: Optional[Callable[[str], None]] = None
+                    ) -> ConformanceResult:
+    """Run the conformance pipeline; see the module docstring."""
+    say = log if log is not None else (lambda message: None)
+    protocols = list(protocols) if protocols else list(CHECK_PROTOCOLS)
+    golden_dir = golden_dir if golden_dir is not None else default_golden_dir()
+    result = ConformanceResult()
+
+    scenarios = [build_scenario(protocol) for protocol in protocols]
+    say(f"auditing {len(scenarios)} scenario(s) with jobs={jobs}")
+    run = run_tasks([s.to_dict() for s in scenarios], run_check_task,
+                    jobs=jobs)
+    result.stats = run.stats
+
+    for scenario, outcome in zip(scenarios, run.outcomes):
+        row = CheckRow(protocol=scenario.protocol)
+        if not outcome.ok:
+            row.invariant_summary = f"task {outcome.status}"
+            row.messages.append(outcome.error or outcome.status)
+            result.rows.append(row)
+            continue
+        payload = outcome.result
+        invariants = payload["invariants"]
+        row.checks = sum(invariants["checks"].values())
+        violations = invariants["violations"]
+        if invariants["ok"]:
+            row.invariant_summary = "ok"
+        else:
+            total = len(violations) + invariants.get("truncated", 0)
+            row.invariant_summary = f"{total} violations"
+            row.messages.extend(
+                f"{v['monitor']}@{v['time']:.3f}s: {v['message']}"
+                for v in violations[:5])
+        if bless:
+            path = write_golden(golden_path(golden_dir, scenario.protocol),
+                                scenario, payload["rows"])
+            result.blessed_paths.append(str(path))
+            row.golden_status = "blessed"
+        else:
+            blessed = load_golden(golden_path(golden_dir, scenario.protocol))
+            drift = compare_golden(blessed, scenario, payload["rows"])
+            row.golden_status = "ok" if not drift else "drift"
+            row.messages.extend(drift)
+        invariants_ok = invariants["ok"]
+        golden_ok = row.golden_status in ("ok", "blessed")
+        if invariants_ok and golden_ok:
+            row.status = "blessed" if bless else "ok"
+        result.rows.append(row)
+
+    if with_differential:
+        for protocol in DIFFERENTIAL_PROTOCOLS:
+            say(f"differential sim<->live: {protocol} "
+                f"({differential_duration:g}s wall clock)")
+            result.differential.append(
+                run_differential(protocol, duration=differential_duration))
+
+    if with_mutation:
+        say("mutation smoke: seeded defects vs the oracles")
+        result.mutants = run_mutation_smoke(golden_dir=golden_dir)
+
+    return result

@@ -12,6 +12,8 @@ Usage::
         --protocol cubic --seeds 3 --jobs 4   # cached parallel campaign
     python -m repro chaos --protocol verus --fault blackout \
         --fault chaos --backend both          # fault-injection matrix
+    python -m repro check                     # conformance suite
+    python -m repro check --bless             # re-bless golden traces
 
 Every experiment honours ``--seed`` so invocations are reproducible
 from the shell; without it each experiment keeps its paper-default
@@ -444,6 +446,54 @@ def _run_chaos(args) -> int:
     return 0
 
 
+def _run_check(args) -> int:
+    """``repro check``: run the conformance pipeline — invariant-audited
+    scenarios, golden-trace diffs (or ``--bless``), the sim<->live
+    differential harness, and the mutation smoke."""
+    from .check import run_conformance
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    result = run_conformance(
+        protocols=args.protocol or None,
+        golden_dir=args.golden_dir,
+        jobs=args.jobs,
+        bless=args.bless,
+        with_differential=not args.no_live,
+        with_mutation=not args.no_mutation,
+        differential_duration=args.live_duration,
+        log=log,
+    )
+
+    print(format_table([row.to_dict() for row in result.rows],
+                       title="invariant audit + golden traces"))
+    for row in result.rows:
+        for message in row.messages:
+            print(f"  {row.protocol}: {message}", file=sys.stderr)
+    if result.blessed_paths:
+        for path in result.blessed_paths:
+            print(f"blessed {path}")
+    if result.differential:
+        print(format_table(
+            [d.to_dict() for d in result.differential],
+            title="differential sim<->live (calibrated envelopes)"))
+        for d in result.differential:
+            for message in d.messages:
+                print(f"  {d.protocol}: {message}", file=sys.stderr)
+    if result.mutants:
+        print(format_table(
+            [{"mutant": m.name, "protocol": m.protocol,
+              "caught_by": ", ".join(m.caught_by) or "NOT CAUGHT"}
+             for m in result.mutants],
+            title="mutation smoke (every mutant must be caught)"))
+    if result.ok:
+        print("conformance: OK")
+        return 0
+    print("conformance: FAIL", file=sys.stderr)
+    return 1
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": _run_fig1, "fig2": _run_fig2, "fig3": _run_fig3,
     "fig4": _run_fig4, "fig5": _run_fig5, "fig7": _run_fig7,
@@ -589,6 +639,31 @@ def main(argv=None) -> int:
     chaos.add_argument("--out", default=None,
                        help="also write matrix rows as JSON")
 
+    check = sub.add_parser(
+        "check", help="run the conformance suite: invariant monitors, "
+                      "golden-trace diffs, sim<->live differential, and "
+                      "mutation smoke")
+    check.add_argument("--protocol", action="append", default=None,
+                       help="protocol to audit; repeat for several "
+                            "(default: verus, cubic, vegas)")
+    check.add_argument("--bless", action="store_true",
+                       help="regenerate the golden traces instead of "
+                            "diffing against them")
+    check.add_argument("--golden-dir", default=None,
+                       help="golden trace directory "
+                            "(default: tests/golden in the repo)")
+    check.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the audited scenarios "
+                            "(default 1: serial; results are bit-identical "
+                            "either way)")
+    check.add_argument("--no-live", action="store_true",
+                       help="skip the sim<->live differential harness")
+    check.add_argument("--no-mutation", action="store_true",
+                       help="skip the mutation smoke")
+    check.add_argument("--live-duration", type=float, default=3.0,
+                       help="wall-clock seconds per differential run "
+                            "(default 3)")
+
     trace = sub.add_parser("trace", help="generate a channel trace file")
     trace.add_argument("--scenario", default="city_driving")
     trace.add_argument("--technology", default="3g", choices=["3g", "lte"])
@@ -617,6 +692,8 @@ def main(argv=None) -> int:
         return _run_sweep(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "check":
+        return _run_check(args)
     if args.command == "report":
         from .experiments.full_report import generate_report
         text = generate_report(duration=args.duration, items=args.items,

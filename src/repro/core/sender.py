@@ -314,9 +314,13 @@ class VerusSender(SenderProtocol):
         if self.mode == SLOW_START:
             self._exit_slow_start("loss")
         if not self.loss_handler.in_recovery:
-            self.window = self.loss_handler.on_loss(record.window_at_send)
+            w_loss = record.window_at_send
+            self.window = self.loss_handler.on_loss(w_loss)
             self.mode = RECOVERY
             self.profiler.freeze_updates()
+            if self.observers:
+                self.notify("on_loss", time=self.now, w_loss=w_loss,
+                            w_after=self.window, kind="gap")
         self._queue_retransmission(record.seq)
 
     # ------------------------------------------------------------------
@@ -332,9 +336,13 @@ class VerusSender(SenderProtocol):
         # jitter, must not abort slow start spuriously).
         if record.seq > self._next_expected + 2:
             self._exit_slow_start("loss")
-            self.window = self.loss_handler.on_loss(self.window)
+            w_loss = self.window
+            self.window = self.loss_handler.on_loss(w_loss)
             self.mode = RECOVERY
             self.profiler.freeze_updates()
+            if self.observers:
+                self.notify("on_loss", time=self.now, w_loss=w_loss,
+                            w_after=self.window, kind="slow_start_gap")
             return
         self.window += 1.0
         if (est.d_min is not None and delay > 0
@@ -398,6 +406,12 @@ class VerusSender(SenderProtocol):
                 d_est=est.d_est if est.d_est is not None else 0.0,
                 d_max=self.delay_estimator.d_max or 0.0,
                 inflight=len(self._inflight), mode=self.mode))
+        if self.observers:
+            est = self.window_estimator
+            self.notify("on_epoch", time=self.now, window=self.window,
+                        d_est=est.d_est, mode=self.mode,
+                        inflight=len(self._inflight),
+                        pending_rtx=len(self._pending_rtx))
 
     def _normal_epoch(self) -> None:
         cfg = self.config
@@ -405,8 +419,9 @@ class VerusSender(SenderProtocol):
         delta_d = est.end_epoch()
         if not est.have_estimate or not self.profiler.ready:
             return
+        d_min_used = est.d_min
         d_est = self.window_estimator.update_set_point(
-            delta_d, est.d_max, est.d_min)
+            delta_d, est.d_max, d_min_used)
         # Keep the set-point tethered to reality: a target far above every
         # observed delay carries no information (it can arise when delay
         # is dominated by jitter unrelated to the window) and would let
@@ -450,6 +465,12 @@ class VerusSender(SenderProtocol):
         budget = self.window_estimator.send_budget(
             w_next, self._effective_inflight(), est.rtt())
         self.window = w_next
+        if self.observers:
+            # d_min is the value eq. 4 actually used this epoch (a floor
+            # re-base above may already have moved the live estimate).
+            self.notify("on_setpoint", time=self.now,
+                        d_est=self.window_estimator.d_est,
+                        d_min=d_min_used, d_max=est.d_max, window=w_next)
         self._send_credit += budget
         count = int(self._send_credit)
         self._send_credit -= count
@@ -499,6 +520,9 @@ class VerusSender(SenderProtocol):
         if not self.loss_handler.in_recovery:
             self.window = self.loss_handler.on_loss(w_loss)
             self.profiler.freeze_updates()
+            if self.observers:
+                self.notify("on_loss", time=self.now, w_loss=w_loss,
+                            w_after=self.window, kind="rto")
         if self.mode == SLOW_START:
             self._exit_slow_start("loss")
         self.mode = RECOVERY

@@ -69,6 +69,26 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
+        # Conformance seam: callables invoked as fn(time) just before each
+        # event fires (see repro.check).  Empty for normal runs, so the
+        # only steady-state cost is one falsy check per event.
+        self._monitors: List[Callable[[float], Any]] = []
+
+    # ------------------------------------------------------------------
+    # Monitoring (conformance seam)
+    # ------------------------------------------------------------------
+    def add_monitor(self, fn: Callable[[float], Any]) -> None:
+        """Register ``fn(event_time)`` to run before every event fires.
+
+        Used by :mod:`repro.check` to audit scheduler behaviour (monotone
+        clock, event accounting) without touching the hot path when no
+        monitor is attached.  Monitors must not schedule or cancel events.
+        """
+        self._monitors.append(fn)
+
+    def remove_monitor(self, fn: Callable[[float], Any]) -> None:
+        """Detach a monitor previously registered with :meth:`add_monitor`."""
+        self._monitors.remove(fn)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -112,6 +132,9 @@ class Simulator:
                 heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
+                if self._monitors:
+                    for monitor in self._monitors:
+                        monitor(time)
                 self.now = time
                 event.callback(*event.args)
                 self.events_processed += 1
@@ -131,6 +154,9 @@ class Simulator:
             time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if self._monitors:
+                for monitor in self._monitors:
+                    monitor(time)
             self.now = time
             event.callback(*event.args)
             self.events_processed += 1

@@ -73,6 +73,12 @@ class SenderProtocol:
         self.bytes_sent = 0
         self.start_time: Optional[float] = None
         self.stop_time: Optional[float] = None
+        # Conformance seam (see repro.check): observer objects whose
+        # optional methods (on_epoch, on_loss, ...) are invoked by the
+        # concrete senders at well-defined control-law points.  Empty for
+        # normal runs; call sites guard on the list so the hot path pays
+        # one falsy check only.
+        self.observers: List[Any] = []
 
     # -- wiring --------------------------------------------------------
     def attach(self, sim: Clock, tx: Transmit) -> None:
@@ -91,6 +97,19 @@ class SenderProtocol:
         if self.sim is None:
             raise RuntimeError("sender not attached")
         return self.sim.now
+
+    def notify(self, event: str, **fields: Any) -> None:
+        """Dispatch ``event`` to every observer that implements it.
+
+        Observers are duck-typed: an observer interested in, say, loss
+        events defines ``on_loss(sender, **fields)`` and ignores the
+        rest.  Exceptions propagate — a conformance monitor failing loudly
+        is the point.
+        """
+        for observer in self.observers:
+            handler = getattr(observer, event, None)
+            if handler is not None:
+                handler(self, **fields)
 
     # -- protocol hooks --------------------------------------------------
     def start(self) -> None:

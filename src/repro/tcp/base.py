@@ -196,6 +196,9 @@ class TcpSender(SenderProtocol):
         # the sender deadlocks silently.
         if self._rto_event is None and self.flight() > 0:
             self._arm_rto()
+        if self.observers:
+            self.notify("on_window", time=self.now, window=self.cwnd,
+                        ssthresh=self.ssthresh, flight=self.flight())
 
     def _handle_new_ack(self, ack: int, packet: Packet) -> None:
         newly_acked = ack - self.snd_una
@@ -251,8 +254,12 @@ class TcpSender(SenderProtocol):
 
     def _enter_fast_recovery(self) -> None:
         self.fast_retransmits += 1
+        w_before = self.cwnd
         self.on_loss_event()
         self.ssthresh = self.ssthresh_on_loss()
+        if self.observers:
+            self.notify("on_loss", time=self.now, w_loss=w_before,
+                        w_after=self.ssthresh, kind="fast_retransmit")
         self._recover = self.snd_nxt - 1
         self._in_fast_recovery = True
         self._rexmit_done.clear()
@@ -332,9 +339,13 @@ class TcpSender(SenderProtocol):
         if not self.running or self.flight() <= 0:
             return
         self.timeouts += 1
+        w_before = self.cwnd
         self.on_loss_event()
         self.ssthresh = self.ssthresh_on_loss()
         self.cwnd = 1.0
+        if self.observers:
+            self.notify("on_loss", time=self.now, w_loss=w_before,
+                        w_after=self.cwnd, kind="rto")
         self._dupacks = 0
         self._in_fast_recovery = False
         self._sacked.clear()

@@ -1,0 +1,463 @@
+"""Conformance subsystem tests: monitors, golden oracle, mutation smoke.
+
+Covers the three oracle layers of ``repro check`` — each monitor's
+violation path on synthetic inputs, the clean-on-main property of the
+audited scenarios, golden-trace determinism (run-to-run and serial vs
+pooled), drift detection, and the requirement that every seeded mutant is
+caught by at least one oracle.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    CHECK_PROTOCOLS,
+    CheckScenario,
+    InvariantReport,
+    MonotoneClockMonitor,
+    QueueAccountingMonitor,
+    TcpLawMonitor,
+    VerusLawMonitor,
+    audit_conservation,
+    build_scenario,
+    compare_golden,
+    golden_path,
+    load_golden,
+    render_golden,
+    run_audited,
+    run_check_task,
+    run_conformance,
+    run_mutation_smoke,
+    write_golden,
+)
+from repro.check.mutation import MUTANTS
+from repro.check.runner import run_tasks
+from repro.cli import main
+from repro.core import VerusConfig, VerusSender
+from repro.netsim import DropTailQueue, Simulator
+from repro.netsim.packet import Packet
+from repro.tcp import CubicSender
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+# ---------------------------------------------------------------------------
+# Invariant report
+# ---------------------------------------------------------------------------
+class TestInvariantReport:
+    def test_clean_report(self):
+        report = InvariantReport()
+        report.count("x", 3)
+        assert report.ok
+        assert report.total_checks() == 3
+        assert "ok" in report.summary()
+
+    def test_violations_and_summary(self):
+        report = InvariantReport()
+        report.violate("cons", 1.5, "lost a packet")
+        assert not report.ok
+        assert report.monitors_violated() == ["cons"]
+        assert "lost a packet" in report.summary()
+
+    def test_violation_cap(self):
+        report = InvariantReport(max_violations=2)
+        for i in range(5):
+            report.violate("m", float(i), "boom")
+        assert len(report.violations) == 2
+        assert report.truncated == 3
+        assert not report.ok
+
+    def test_round_trip(self):
+        report = InvariantReport()
+        report.count("a")
+        report.violate("a", 0.1, "msg", flow_id=2)
+        clone = InvariantReport.from_dict(report.to_dict())
+        assert clone.checks == report.checks
+        assert clone.violations[0].flow_id == 2
+        assert clone.ok == report.ok
+
+
+# ---------------------------------------------------------------------------
+# Monitors on synthetic inputs
+# ---------------------------------------------------------------------------
+class TestMonotoneClockMonitor:
+    def test_accepts_monotone(self):
+        report = InvariantReport()
+        monitor = MonotoneClockMonitor(report)
+        for t in (0.0, 0.5, 0.5, 1.0):
+            monitor(t)
+        assert report.ok
+        assert report.checks["monotone-clock"] == 4
+
+    def test_flags_regression(self):
+        report = InvariantReport()
+        monitor = MonotoneClockMonitor(report)
+        monitor(1.0)
+        monitor(0.5)
+        assert not report.ok
+        assert report.violations[0].monitor == "monotone-clock"
+
+    def test_attaches_to_simulator(self):
+        sim = Simulator()
+        report = InvariantReport()
+        monitor = MonotoneClockMonitor(report)
+        sim.add_monitor(monitor)
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert report.checks["monotone-clock"] == 2
+        assert report.ok
+        sim.remove_monitor(monitor)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert report.checks["monotone-clock"] == 2  # detached
+
+
+class TestVerusLawMonitor:
+    def _sender(self):
+        sender = VerusSender(0, VerusConfig())
+        return sender
+
+    def test_loss_decrease_ok(self):
+        report = InvariantReport()
+        monitor = VerusLawMonitor(report)
+        monitor.on_loss(self._sender(), time=1.0, w_loss=40.0, w_after=20.0,
+                        kind="gap")
+        assert report.ok
+
+    def test_loss_decrease_violated(self):
+        report = InvariantReport()
+        monitor = VerusLawMonitor(report)
+        monitor.on_loss(self._sender(), time=1.0, w_loss=40.0, w_after=40.0,
+                        kind="gap")
+        assert "loss-decrease" in report.monitors_violated()
+
+    def test_small_window_floor_is_tolerated(self):
+        # eq. 6 floors at min_window: a loss at W=1 legitimately keeps W=1.
+        report = InvariantReport()
+        monitor = VerusLawMonitor(report)
+        monitor.on_loss(self._sender(), time=1.0, w_loss=1.0, w_after=1.0,
+                        kind="rto")
+        assert report.ok
+
+    def test_setpoint_below_floor_violated(self):
+        report = InvariantReport()
+        monitor = VerusLawMonitor(report)
+        monitor.on_setpoint(self._sender(), time=1.0, d_est=0.010,
+                            d_min=0.020, d_max=0.030, window=5.0)
+        assert "dest-bounds" in report.monitors_violated()
+
+    def test_setpoint_nan_violated(self):
+        report = InvariantReport()
+        monitor = VerusLawMonitor(report)
+        monitor.on_setpoint(self._sender(), time=1.0, d_est=float("nan"),
+                            d_min=0.020, d_max=0.030, window=5.0)
+        assert not report.ok
+
+    def test_epoch_window_bounds(self):
+        report = InvariantReport()
+        monitor = VerusLawMonitor(report)
+        monitor.on_epoch(self._sender(), time=1.0, window=-3.0, d_est=0.02,
+                         mode="normal", inflight=4, pending_rtx=0)
+        assert "window-bounds" in report.monitors_violated()
+
+    def test_epoch_rtx_accounting(self):
+        report = InvariantReport()
+        monitor = VerusLawMonitor(report)
+        monitor.on_epoch(self._sender(), time=1.0, window=5.0, d_est=0.02,
+                         mode="normal", inflight=2, pending_rtx=3)
+        assert "inflight-accounting" in report.monitors_violated()
+
+
+class TestTcpLawMonitor:
+    def test_decrease_ok(self):
+        report = InvariantReport()
+        monitor = TcpLawMonitor(report)
+        sender = CubicSender(0)
+        monitor.on_loss(sender, time=1.0, w_loss=30.0, w_after=21.0,
+                        kind="fast_retransmit")
+        monitor.on_loss(sender, time=2.0, w_loss=3.0, w_after=2.0, kind="rto")
+        assert report.ok
+
+    def test_no_decrease_violated(self):
+        report = InvariantReport()
+        monitor = TcpLawMonitor(report)
+        monitor.on_loss(CubicSender(0), time=1.0, w_loss=30.0, w_after=30.0,
+                        kind="fast_retransmit")
+        assert "loss-decrease" in report.monitors_violated()
+
+    def test_window_positive(self):
+        report = InvariantReport()
+        monitor = TcpLawMonitor(report)
+        monitor.on_window(CubicSender(0), time=1.0, window=0.0,
+                          ssthresh=10.0, flight=0)
+        assert not report.ok
+
+    def test_ssthresh_floor(self):
+        report = InvariantReport()
+        monitor = TcpLawMonitor(report)
+        monitor.on_window(CubicSender(0), time=1.0, window=4.0,
+                          ssthresh=1.0, flight=2)
+        assert "window-bounds" in report.monitors_violated()
+
+
+class TestQueueAccountingMonitor:
+    def test_consistent_queue_passes(self):
+        queue = DropTailQueue()
+        queue.push(Packet(flow_id=0, seq=0, size=100, sent_time=0.0), 0.0)
+        report = InvariantReport()
+        QueueAccountingMonitor(report, queue).audit(0.0)
+        assert report.ok
+
+    def test_corrupted_gauge_flagged(self):
+        queue = DropTailQueue()
+        queue.push(Packet(flow_id=0, seq=0, size=100, sent_time=0.0), 0.0)
+        queue._bytes += 50   # simulate an accounting bug
+        report = InvariantReport()
+        QueueAccountingMonitor(report, queue).audit(0.0)
+        assert "queue-accounting" in report.monitors_violated()
+
+
+class TestConservationAudit:
+    BALANCED = {"sent_data": 100, "received_data": 90, "acks_out": 90,
+                "acks_in": 90, "link_delivered": 90, "queue_dropped": 7,
+                "stochastic_losses": 3, "queue_len": 0}
+
+    def test_balanced_ledger(self):
+        report = InvariantReport()
+        audit_conservation(report, dict(self.BALANCED), time=10.0)
+        assert report.ok
+
+    def test_leak_flagged(self):
+        counts = dict(self.BALANCED)
+        counts["link_delivered"] = 89
+        counts["received_data"] = 89
+        report = InvariantReport()
+        audit_conservation(report, counts, time=10.0)
+        assert "conservation" in report.monitors_violated()
+
+    def test_ack_loss_flagged(self):
+        counts = dict(self.BALANCED)
+        counts["acks_in"] = 80
+        report = InvariantReport()
+        audit_conservation(report, counts, time=10.0)
+        assert not report.ok
+
+
+# ---------------------------------------------------------------------------
+# Observer / monitor seams on live protocol objects
+# ---------------------------------------------------------------------------
+class _Recorder:
+    """Duck-typed observer that records every event it understands."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_epoch(self, sender, **fields):
+        self.events.append(("on_epoch", fields))
+
+    def on_setpoint(self, sender, **fields):
+        self.events.append(("on_setpoint", fields))
+
+    def on_loss(self, sender, **fields):
+        self.events.append(("on_loss", fields))
+
+    def on_window(self, sender, **fields):
+        self.events.append(("on_window", fields))
+
+
+class TestObserverSeam:
+    def test_verus_emits_epoch_and_setpoint_events(self):
+        run = run_audited(build_scenario("verus", duration=2.0, drain=1.0))
+        # The attached law monitor counted control-law events, proving the
+        # sender dispatched them through the observer seam.
+        assert run.report.checks.get("dest-bounds", 0) > 0
+        assert run.report.checks.get("window-bounds", 0) > 0
+
+    def test_notify_dispatches_only_implemented_handlers(self):
+        sender = VerusSender(0)
+        recorder = _Recorder()
+        sender.observers.append(recorder)
+        sender.notify("on_loss", time=1.0, w_loss=4.0, w_after=2.0,
+                      kind="gap")
+        sender.notify("on_unknown_event", time=1.0)
+        assert recorder.events == [
+            ("on_loss", {"time": 1.0, "w_loss": 4.0, "w_after": 2.0,
+                         "kind": "gap"})]
+
+    def test_tcp_emits_window_events(self):
+        scenario = build_scenario("cubic", duration=2.0, drain=1.0)
+        run = run_audited(scenario)
+        assert run.report.checks.get("window-bounds", 0) > 0
+        assert run.report.checks.get("loss-decrease", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# Audited scenarios: clean on main
+# ---------------------------------------------------------------------------
+class TestAuditedScenarios:
+    @pytest.mark.parametrize("protocol", CHECK_PROTOCOLS)
+    def test_clean_and_exercised(self, protocol):
+        run = run_audited(build_scenario(protocol))
+        assert run.report.ok, run.report.summary()
+        # The scenario must exercise the oracles, not merely pass them.
+        assert run.report.checks.get("monotone-clock", 0) > 1000
+        assert run.report.checks.get("queue-accounting", 0) > 10
+        assert run.report.checks.get("loss-decrease", 0) > 0
+        assert run.counts["sent_data"] > 100
+        assert (run.counts["queue_dropped"]
+                + run.counts["stochastic_losses"]) > 0
+        assert run.counts["queue_len"] == 0
+        assert len(run.rows) == 80
+
+    def test_scenario_key_ignores_version(self):
+        a = build_scenario("verus")
+        b = CheckScenario.from_dict(a.to_dict())
+        assert a.key() == b.key()
+        c = build_scenario("verus", seed=8)
+        assert c.key() != a.key()
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario("sprout")
+
+
+# ---------------------------------------------------------------------------
+# Golden oracle
+# ---------------------------------------------------------------------------
+class TestGoldenOracle:
+    def test_blessed_traces_exist_and_match_main(self):
+        """The committed goldens must match a fresh run bit-for-bit."""
+        for protocol in CHECK_PROTOCOLS:
+            scenario = build_scenario(protocol)
+            run = run_audited(scenario)
+            disk = golden_path(GOLDEN_DIR, protocol)
+            assert disk.exists(), f"missing golden for {protocol}"
+            assert render_golden(scenario, run.rows) == disk.read_text()
+            assert compare_golden(load_golden(disk), scenario, run.rows) == []
+
+    def test_bit_identical_across_consecutive_runs(self):
+        scenario = build_scenario("verus", duration=2.0, drain=1.0)
+        first = render_golden(scenario, run_audited(scenario).rows)
+        second = render_golden(scenario, run_audited(scenario).rows)
+        assert first == second
+
+    def test_bit_identical_serial_vs_pooled(self):
+        """--jobs 1 and --jobs N must produce the same golden rows."""
+        payloads = [build_scenario(p, duration=2.0, drain=1.0).to_dict()
+                    for p in ("verus", "cubic")]
+        serial = run_tasks(payloads, run_check_task, jobs=1)
+        pooled = run_tasks(payloads, run_check_task, jobs=2)
+        assert serial.all_ok and pooled.all_ok
+        for a, b in zip(serial.outcomes, pooled.outcomes):
+            assert a.result["rows"] == b.result["rows"]
+            assert a.result["counts"] == b.result["counts"]
+
+    def test_drift_detected(self, tmp_path):
+        scenario = build_scenario("verus", duration=2.0, drain=1.0)
+        run = run_audited(scenario)
+        path = write_golden(tmp_path / "verus.json", scenario, run.rows)
+        rows = [list(r) for r in run.rows]
+        rows[10][1] *= 2.0   # window drifted far outside the band
+        drift = compare_golden(load_golden(path), scenario, rows)
+        assert drift and "window" in drift[0]
+
+    def test_within_band_passes(self, tmp_path):
+        scenario = build_scenario("verus", duration=2.0, drain=1.0)
+        run = run_audited(scenario)
+        path = write_golden(tmp_path / "verus.json", scenario, run.rows)
+        rows = [[r[0], r[1] * 1.01, r[2], r[3]] for r in run.rows]
+        assert compare_golden(load_golden(path), scenario, rows) == []
+
+    def test_scenario_change_reported_as_rebless(self, tmp_path):
+        scenario = build_scenario("verus", duration=2.0, drain=1.0)
+        run = run_audited(scenario)
+        path = write_golden(tmp_path / "verus.json", scenario, run.rows)
+        changed = build_scenario("verus", duration=2.0, drain=1.0, seed=99)
+        drift = compare_golden(load_golden(path), changed, run.rows)
+        assert drift and "re-bless" in drift[0]
+
+    def test_missing_golden_reported(self, tmp_path):
+        scenario = build_scenario("verus")
+        drift = compare_golden(None, scenario, [])
+        assert drift and "--bless" in drift[0]
+
+    def test_golden_file_is_canonical_json(self):
+        for protocol in CHECK_PROTOCOLS:
+            text = golden_path(GOLDEN_DIR, protocol).read_text()
+            payload = json.loads(text)
+            canonical = json.dumps(payload, sort_keys=True,
+                                   separators=(",", ":")) + "\n"
+            assert text == canonical
+
+
+# ---------------------------------------------------------------------------
+# Mutation smoke: every seeded defect must be caught
+# ---------------------------------------------------------------------------
+class TestMutationSmoke:
+    def test_every_mutant_caught(self):
+        results = run_mutation_smoke(golden_dir=GOLDEN_DIR)
+        assert len(results) == len(MUTANTS)
+        for result in results:
+            assert result.caught, (
+                f"mutant {result.name} evaded every oracle")
+
+    def test_patches_are_restored(self):
+        from repro.core.loss_handler import LossHandler
+        before = LossHandler.on_loss
+        run_mutation_smoke(mutants=[MUTANTS[0]], golden_dir=GOLDEN_DIR)
+        assert LossHandler.on_loss is before
+
+    def test_clean_code_not_flagged(self):
+        """Sanity: without a mutant, the same pipeline reports clean."""
+        scenario = build_scenario("verus")
+        run = run_audited(scenario)
+        assert run.report.ok
+        blessed = load_golden(golden_path(GOLDEN_DIR, "verus"))
+        assert compare_golden(blessed, scenario, run.rows) == []
+
+
+# ---------------------------------------------------------------------------
+# Runner + CLI
+# ---------------------------------------------------------------------------
+class TestConformanceRunner:
+    def test_run_conformance_clean(self):
+        result = run_conformance(protocols=["verus"], golden_dir=GOLDEN_DIR,
+                                 with_differential=False,
+                                 with_mutation=False)
+        assert result.ok
+        assert result.rows[0].status == "ok"
+        assert result.rows[0].golden_status == "ok"
+
+    def test_bless_writes_files(self, tmp_path):
+        result = run_conformance(protocols=["cubic"], golden_dir=tmp_path,
+                                 bless=True, with_differential=False,
+                                 with_mutation=False)
+        assert result.ok
+        assert (tmp_path / "cubic.json").exists()
+        # A subsequent diff run against the fresh bless passes.
+        again = run_conformance(protocols=["cubic"], golden_dir=tmp_path,
+                                with_differential=False, with_mutation=False)
+        assert again.ok
+
+    def test_missing_golden_fails(self, tmp_path):
+        result = run_conformance(protocols=["vegas"], golden_dir=tmp_path,
+                                 with_differential=False,
+                                 with_mutation=False)
+        assert not result.ok
+        assert result.rows[0].golden_status == "drift"
+
+    def test_cli_check_passes_on_main(self, capsys):
+        code = main(["check", "--no-live", "--no-mutation"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conformance: OK" in out
+
+    def test_cli_check_bless(self, tmp_path, capsys):
+        code = main(["check", "--no-live", "--no-mutation", "--bless",
+                     "--golden-dir", str(tmp_path), "--protocol", "verus"])
+        assert code == 0
+        assert (tmp_path / "verus.json").exists()
+        assert "blessed" in capsys.readouterr().out

@@ -82,6 +82,7 @@ class TestCompound:
         # Standing queue forms → diff > gamma → dwnd near zero.
         assert sender.dwnd < sender.cwnd
 
+    @pytest.mark.slow
     def test_faster_ramp_than_reno_on_big_pipe(self):
         """The scalable delay window accelerates on an empty 100 Mbps path."""
         from repro.tcp import NewRenoSender

@@ -332,6 +332,7 @@ class TestRecoveryStats:
 # Simulator backend end-to-end
 # ----------------------------------------------------------------------
 
+@pytest.mark.chaos
 class TestFaultedContention:
     def _run(self, schedule, protocol="verus", duration=10.0, seed=3):
         from repro.cellular import generate_scenario_trace
@@ -375,6 +376,7 @@ class TestFaultedContention:
 # Chaos matrix
 # ----------------------------------------------------------------------
 
+@pytest.mark.chaos
 class TestChaosMatrix:
     def test_task_validation_and_round_trip(self):
         task = ChaosTask("verus", "blackout", 10.0, 42)
@@ -431,6 +433,8 @@ class TestChaosMatrix:
 # Live backend acceptance: same schedule, real datagrams
 # ----------------------------------------------------------------------
 
+@pytest.mark.chaos
+@pytest.mark.udp
 @needs_udp
 class TestLiveChaosAcceptance:
     def test_schedule_runs_live_with_full_accounting(self):

@@ -92,6 +92,7 @@ class TestFig5And7:
 
 
 class TestFig10:
+    @pytest.mark.slow
     def test_scatter_has_all_protocols(self):
         points = tracedriven.fig10_mobility(
             flows=3, duration=20.0, scenarios=("campus_pedestrian",))
@@ -99,6 +100,7 @@ class TestFig10:
         assert protocols == {"cubic", "newreno", "verus_r2", "verus_r4",
                              "verus_r6"}
 
+    @pytest.mark.slow
     def test_verus_r2_much_lower_delay_than_cubic(self):
         points = tracedriven.fig10_mobility(
             flows=5, duration=40.0, scenarios=("campus_pedestrian",))
@@ -109,6 +111,7 @@ class TestFig10:
 
 
 class TestTable1:
+    @pytest.mark.slow
     def test_fairness_in_valid_range(self):
         rows = tracedriven.table1_fairness(
             user_counts=(2, 5), scenarios=("campus_pedestrian",),
@@ -125,6 +128,7 @@ class TestTable1:
         assert rows[0]["verus_r2"] > 0.5
 
 
+@pytest.mark.slow
 class TestFig11:
     def test_scenario_ii_verus_at_least_sprout(self):
         # Short smoke duration: a single random schedule can favour either
@@ -147,6 +151,7 @@ class TestFig11:
 
 
 class TestFig15:
+    @pytest.mark.slow
     def test_updating_profile_keeps_delay_low(self):
         rows = tracedriven.fig15_static_profile(
             scenarios=("city_driving", "shopping_mall"), flows=3,

@@ -1,0 +1,162 @@
+"""Property tests for the interpolation stack (repro.interp).
+
+Two families the Verus window lookup depends on, per the conformance
+issue:
+
+* **Inversion round-trip** — on a monotone delay profile, looking up the
+  largest window below a target delay and evaluating the profile there
+  must land at-or-below the target, and must not undershoot the query
+  abscissa by more than the lookup grid's resolution.
+* **Degenerate profiles** — flat and two-point profiles must never
+  produce NaN, and the window returned by the inverse lookup must never
+  fall below the profile domain (so the control law can never be handed
+  a negative or undefined window).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import (
+    InverseLookup,
+    LinearInterpolator,
+    NaturalCubicSpline,
+    PchipInterpolator,
+)
+
+INTERPOLATORS = [LinearInterpolator, NaturalCubicSpline, PchipInterpolator]
+
+
+@st.composite
+def monotone_profiles(draw, min_knots=3, max_knots=10):
+    """Strictly increasing (x, y) knots shaped like a delay profile."""
+    n = draw(st.integers(min_knots, max_knots))
+    x0 = draw(st.floats(1.0, 20.0))
+    dx = draw(st.lists(st.floats(0.5, 15.0), min_size=n - 1, max_size=n - 1))
+    y0 = draw(st.floats(0.01, 0.1))
+    dy = draw(st.lists(st.floats(1e-3, 0.05), min_size=n - 1, max_size=n - 1))
+    x = x0 + np.concatenate([[0.0], np.cumsum(dx)])
+    y = y0 + np.concatenate([[0.0], np.cumsum(dy)])
+    return x, y
+
+
+@st.composite
+def flat_profiles(draw):
+    """Constant-delay profiles: every window sees the same delay."""
+    n = draw(st.integers(2, 8))
+    x0 = draw(st.floats(1.0, 20.0))
+    dx = draw(st.lists(st.floats(0.5, 15.0), min_size=n - 1, max_size=n - 1))
+    level = draw(st.floats(0.001, 1.0))
+    x = x0 + np.concatenate([[0.0], np.cumsum(dx)])
+    return x, np.full(n, level)
+
+
+@st.composite
+def two_point_profiles(draw):
+    """Minimal profiles: two knots, any finite slope (including negative)."""
+    x0 = draw(st.floats(1.0, 50.0))
+    width = draw(st.floats(0.5, 50.0))
+    y0 = draw(st.floats(-1.0, 1.0))
+    y1 = draw(st.floats(-1.0, 1.0))
+    return np.array([x0, x0 + width]), np.array([y0, y1])
+
+
+class TestInversionRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(monotone_profiles(), st.floats(0.0, 1.0))
+    def test_pchip_round_trip_lands_at_or_below_target(self, profile, t):
+        x, y = profile
+        f = PchipInterpolator(x, y)
+        lookup = InverseLookup(f)
+        lo, hi = f.domain
+        xq = lo + t * (hi - lo)
+        target = float(f(xq))
+        w = lookup.largest_below(target)
+        # PCHIP preserves monotonicity, so everything left of xq is
+        # admissible: the inverse may exceed xq only through flat spans,
+        # never undershoot it by more than one lookup-grid cell.
+        spacing = (hi - lo) / (lookup.grid_x.size - 1)
+        assert w >= xq - spacing - 1e-9
+        # Evaluating at the returned window must respect the target up to
+        # the linear sub-grid refinement's curvature error.
+        tol = 1e-9 + (y[-1] - y[0]) / lookup.grid_x.size
+        assert float(f(w)) <= target + tol
+
+    @settings(max_examples=80, deadline=None)
+    @given(monotone_profiles(), st.floats(0.0, 1.0))
+    def test_linear_round_trip_is_near_exact(self, profile, t):
+        x, y = profile
+        f = LinearInterpolator(x, y)
+        lookup = InverseLookup(f, grid_points=2048)
+        lo, hi = f.domain
+        xq = lo + t * (hi - lo)
+        w = lookup.largest_below(float(f(xq)))
+        # Piecewise-linear is strictly increasing here, so the inverse is
+        # unique up to grid resolution.
+        assert w == pytest.approx(xq, abs=2 * (hi - lo) / 2047 + 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(monotone_profiles())
+    def test_inverse_is_monotone_in_the_target(self, profile):
+        x, y = profile
+        lookup = InverseLookup(PchipInterpolator(x, y))
+        targets = np.linspace(y[0], y[-1], 17)
+        windows = [lookup.largest_below(float(d)) for d in targets]
+        assert all(b >= a - 1e-9 for a, b in zip(windows, windows[1:]))
+
+
+class TestDegenerateProfiles:
+    @settings(max_examples=60, deadline=None)
+    @given(flat_profiles(), st.sampled_from(INTERPOLATORS))
+    def test_flat_profile_evaluates_without_nan(self, profile, cls):
+        x, y = profile
+        f = cls(x, y)
+        lo, hi = f.domain
+        width = hi - lo
+        grid = np.linspace(lo - width, hi + width, 257)   # incl. extrapolation
+        values = np.asarray(f(grid))
+        assert np.all(np.isfinite(values))
+        assert np.allclose(values, y[0])                  # flat stays flat
+
+    @settings(max_examples=60, deadline=None)
+    @given(flat_profiles(), st.floats(-1.0, 2.0), st.sampled_from(INTERPOLATORS))
+    def test_flat_profile_inverse_never_leaves_the_domain(self, profile,
+                                                          target, cls):
+        x, y = profile
+        lookup = InverseLookup(cls(x, y))
+        w = lookup.largest_below(target)
+        lo, hi = lookup.f.domain
+        assert np.isfinite(w)
+        # A numerically flat cubic can carry an epsilon end slope, so the
+        # capped extrapolation branch may fire; the cap still bounds w.
+        assert lo <= w <= hi + lookup.max_extrapolation * (hi - lo)
+        assert w >= 0.0            # never a negative window
+
+    @settings(max_examples=80, deadline=None)
+    @given(two_point_profiles(), st.floats(-2.0, 2.0),
+           st.sampled_from(INTERPOLATORS))
+    def test_two_point_profile_inverse_is_finite_and_bounded(self, profile,
+                                                             target, cls):
+        x, y = profile
+        lookup = InverseLookup(cls(x, y))
+        w = lookup.largest_below(target)
+        lo, hi = lookup.f.domain
+        width = hi - lo
+        assert np.isfinite(w)
+        assert lo <= w <= hi + lookup.max_extrapolation * width
+        assert w >= 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(two_point_profiles(), st.sampled_from(INTERPOLATORS))
+    def test_two_point_profile_evaluates_without_nan(self, profile, cls):
+        x, y = profile
+        f = cls(x, y)
+        lo, hi = f.domain
+        width = hi - lo
+        grid = np.linspace(lo - width, hi + width, 257)
+        values = np.asarray(f(grid))
+        assert np.all(np.isfinite(values))
+        # Two knots: every interpolant degenerates to the straight line.
+        expected = y[0] + (y[1] - y[0]) / width * (grid - lo)
+        assert np.allclose(values, expected, atol=1e-9)

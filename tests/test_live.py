@@ -35,6 +35,9 @@ def _udp_available() -> bool:
         return False
 
 
+# ``udp``-marked tests can be (de)selected as a tier with ``-m udp``;
+# the skipif guard additionally auto-skips them where localhost sockets
+# don't exist, so an unfiltered run stays green in any sandbox.
 needs_udp = pytest.mark.skipif(
     not _udp_available(),
     reason="no localhost UDP sockets available in this sandbox")
@@ -160,6 +163,7 @@ class TestChannelStepper:
             stepper.advance(0.0)
 
 
+@pytest.mark.udp
 @needs_udp
 class TestLiveLoopback:
     def test_verus_vs_cubic_session_delivers(self):

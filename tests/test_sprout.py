@@ -115,6 +115,61 @@ class TestForecaster:
             SproutForecaster(tick=0.0)
 
 
+class TestForecastEdgeCases:
+    """Degenerate inputs: empty history, all-zero ticks, belief resets."""
+
+    def test_budget_with_empty_history_is_finite_and_positive(self):
+        forecaster = SproutForecaster(rate_cap_bps=None)
+        budget = forecaster.cautious_budget()
+        assert forecaster.ticks_processed == 0
+        assert np.isfinite(budget) and budget > 0
+
+    def test_all_zero_ticks_collapse_budget_to_the_rate_floor(self):
+        forecaster = SproutForecaster(rate_cap_bps=None)
+        for _ in range(60):
+            budget = forecaster.on_tick(0)
+            assert np.isfinite(budget) and budget >= 0
+        horizon = round(forecaster.target_delay / forecaster.tick)
+        floor = forecaster.belief.rates[0]
+        # Belief pinned at the bottom of the grid: the whole horizon's
+        # budget is within a few bins of min_rate per tick.
+        assert forecaster.cautious_budget() < 2.0 * floor * horizon
+        assert forecaster.belief.quantile(0.05) < 2.0 * floor
+
+    def test_zero_rate_cap_zeroes_the_budget(self):
+        forecaster = SproutForecaster(rate_cap_bps=0.0)
+        for _ in range(10):
+            forecaster.on_tick(20)
+        assert forecaster.cautious_budget() == 0.0
+
+    def test_censored_zero_tick_still_advances_the_clock(self):
+        forecaster = SproutForecaster(rate_cap_bps=None)
+        before = forecaster.ticks_processed
+        budget = forecaster.on_tick(0, censored=True)
+        assert forecaster.ticks_processed == before + 1
+        assert np.isfinite(budget)
+
+    def test_observation_outside_support_resets_belief_flat(self):
+        belief = RateBelief()
+        for _ in range(50):
+            belief.evolve()
+            belief.observe(0)
+        # "At least 5000" has ~zero likelihood everywhere on the grid;
+        # rather than dividing by zero, the belief restarts uniform.
+        belief.observe(5000, censored=True)
+        assert np.allclose(belief.prob, 1.0 / belief.prob.size)
+        assert belief.prob.sum() == pytest.approx(1.0)
+
+    def test_horizon_never_below_one_tick(self):
+        forecaster = SproutForecaster(tick=0.4, target_delay=0.1,
+                                      rate_cap_bps=None)
+        forecaster.on_tick(10)
+        single = forecaster.cautious_budget()
+        assert np.isfinite(single) and single > 0
+        # One-tick horizon: budget bounded by the largest rate on the grid.
+        assert single <= forecaster.belief.rates[-1]
+
+
 def run_sprout(rate_bps=10e6, rtt=0.05, duration=30.0):
     sim = Simulator()
     link = Link(sim, rate_bps=rate_bps, queue=DropTailQueue())
