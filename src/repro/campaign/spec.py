@@ -45,6 +45,15 @@ class TaskSpec:
     ``seed`` is the resolved per-task seed (already derived from the
     campaign's base seed); ``seed_index`` records which repetition this
     cell is, so aggregation can report "mean of N seeds".
+
+    Two trace sources are supported: without ``trace_file`` the worker
+    synthesizes ``scenario`` (which must then be a registered scenario
+    name); with ``trace_file`` the worker replays that corpus trace and
+    ``scenario`` is a free-form label (typically the corpus trace name).
+    ``trace_sha256`` pins the trace *content* — the worker refuses a
+    file that hashes differently, and the cache key is derived from the
+    hash rather than the path, so moving a corpus does not invalidate
+    cached results.
     """
 
     scenario: str
@@ -59,14 +68,19 @@ class TaskSpec:
     warmup: float = 5.0
     label: str = ""
     options: Tuple[Tuple[str, object], ...] = ()
+    trace_file: Optional[str] = None
+    trace_sha256: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_NAMES:
             raise ValueError(f"unknown protocol {self.protocol!r}; "
                              f"choose from {PROTOCOL_NAMES}")
-        if self.scenario not in SCENARIO_NAMES:
+        if self.trace_file is None and self.scenario not in SCENARIO_NAMES:
             raise ValueError(f"unknown scenario {self.scenario!r}; "
-                             f"choose from {SCENARIO_NAMES}")
+                             f"choose from {SCENARIO_NAMES} "
+                             f"(or provide trace_file)")
+        if self.trace_sha256 is not None and self.trace_file is None:
+            raise ValueError("trace_sha256 requires trace_file")
         if self.flows < 1:
             raise ValueError("flows must be at least 1")
         if not self.label:
@@ -93,6 +107,8 @@ class TaskSpec:
             "warmup": self.warmup,
             "label": self.label,
             "options": {k: v for k, v in self.options},
+            "trace_file": self.trace_file,
+            "trace_sha256": self.trace_sha256,
         }
 
     @classmethod
@@ -105,8 +121,14 @@ class TaskSpec:
         """Content address: SHA-256 of the canonical spec + repro version.
 
         The version is part of the address so a cache populated by an
-        older simulator never masks behaviour changes."""
-        body = _canonical_json({"task": self.to_dict(),
+        older simulator never masks behaviour changes.  When the trace
+        content is pinned by ``trace_sha256``, the file *path* is
+        dropped from the address — the hash already identifies the
+        input, and relocating a corpus must not invalidate the cache."""
+        body = self.to_dict()
+        if self.trace_sha256 is not None:
+            body["trace_file"] = None
+        body = _canonical_json({"task": body,
                                 "repro_version": REPRO_VERSION})
         return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
@@ -194,6 +216,25 @@ class CampaignSpec:
         return tasks
 
 
+def _load_task_trace(spec: "TaskSpec") -> np.ndarray:
+    """Replay-source path: read the pinned corpus trace for a task.
+
+    Refuses content that does not match ``trace_sha256`` — a cached
+    result must never be attributed to a trace that has since changed.
+    """
+    from ..traces.corpus import trace_sha256
+    from ..traces.formats import read_trace_ms
+
+    times_ms = read_trace_ms(spec.trace_file, fmt="mahimahi")
+    if spec.trace_sha256 is not None:
+        digest = trace_sha256(times_ms)
+        if digest != spec.trace_sha256:
+            raise ValueError(
+                f"trace {spec.trace_file} hashes to {digest[:12]}, task "
+                f"pinned {spec.trace_sha256[:12]} — corpus content changed")
+    return times_ms.astype(float) / 1000.0
+
+
 def run_simulation_task(payload: dict) -> dict:
     """Execute one grid cell: generate the scenario trace, run the
     contention experiment, return the JSON-safe result summary.
@@ -205,10 +246,13 @@ def run_simulation_task(payload: dict) -> dict:
     from ..experiments.runner import repeat_flows, run_trace_contention
 
     spec = TaskSpec.from_dict(payload)
-    trace = generate_scenario_trace(spec.scenario, duration=spec.duration,
-                                    technology=spec.technology,
-                                    mean_rate_bps=spec.cell_rate_bps,
-                                    seed=spec.seed)
+    if spec.trace_file is not None:
+        trace = _load_task_trace(spec)
+    else:
+        trace = generate_scenario_trace(spec.scenario, duration=spec.duration,
+                                        technology=spec.technology,
+                                        mean_rate_bps=spec.cell_rate_bps,
+                                        seed=spec.seed)
     flow_specs = repeat_flows(spec.protocol, spec.flows, label=spec.label,
                               **spec.options_dict())
     result = run_trace_contention(trace, flow_specs, duration=spec.duration,

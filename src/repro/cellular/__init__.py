@@ -37,7 +37,13 @@ from .scenarios import (
     operator_presets,
     scenario_params,
 )
-from .trace_io import concatenate_traces, load_trace, save_trace, scale_trace
+from .trace_io import (
+    TraceFormatError,
+    concatenate_traces,
+    load_trace,
+    save_trace,
+    scale_trace,
+)
 from .validation import ChannelValidation, compare_technologies, validate_trace
 
 __all__ = [
@@ -58,6 +64,7 @@ __all__ = [
     "Predictor",
     "SCENARIO_NAMES",
     "TTI_SECONDS",
+    "TraceFormatError",
     "UPLINK_RATE_BPS",
     "all_scenario_traces",
     "burst_table",

@@ -10,6 +10,9 @@ Usage::
     python -m repro live --protocol verus --protocol cubic --duration 10
     python -m repro sweep --scenario city_driving --protocol verus \
         --protocol cubic --seeds 3 --jobs 4   # cached parallel campaign
+    python -m repro corpus build --preset default   # trace corpus
+    python -m repro corpus stats --json
+    python -m repro sweep --corpus .repro-corpus --protocol verus
     python -m repro chaos --protocol verus --fault blackout \
         --fault chaos --backend both          # fault-injection matrix
     python -m repro check                     # conformance suite
@@ -253,7 +256,7 @@ def _run_sensitivity(args) -> None:
 
 def _run_live(args) -> None:
     """``repro live``: a real UDP session through the link emulator."""
-    from .cellular import generate_scenario_trace, load_trace
+    from .cellular import generate_scenario_trace
     from .experiments.runner import FlowSpec, run_trace_contention
     from .live import LiveSessionError, run_live_session
 
@@ -267,9 +270,12 @@ def _run_live(args) -> None:
         raise SystemExit(2)
     seed = args.seed if args.seed is not None else 1
     if args.trace:
+        from .traces.formats import read_trace_seconds
         try:
-            trace = load_trace(args.trace)
-        except OSError as exc:
+            # Any corpus format works here: mahimahi, seconds or CSV,
+            # auto-detected by extension/content.
+            trace = read_trace_seconds(args.trace)
+        except (OSError, ValueError) as exc:
             print(f"error: cannot read trace file: {exc}", file=sys.stderr)
             raise SystemExit(2)
     else:
@@ -308,7 +314,12 @@ def _run_live(args) -> None:
 
 def _run_sweep(args) -> int:
     """``repro sweep``: expand a campaign grid, run it through the
-    engine, print the aggregated table plus cache accounting."""
+    engine, print the aggregated table plus cache accounting.
+
+    With ``--corpus``, the scenario axis comes from a trace corpus
+    instead of the synthetic channel: every (selected) trace becomes a
+    grid entry whose cells replay that trace, pinned by content hash.
+    """
     from .campaign import (
         CampaignSpec,
         ResultStore,
@@ -317,17 +328,36 @@ def _run_sweep(args) -> int:
         run_campaign,
     )
 
-    spec = CampaignSpec(
-        scenarios=args.scenario or ["campus_pedestrian", "city_driving"],
-        protocols=args.protocol or ["verus", "cubic"],
-        flow_counts=args.flows or [3],
-        seeds=args.seeds,
-        duration=args.duration,
-        technology=args.technology,
-        base_seed=args.base_seed,
-    )
     try:
-        tasks = spec.expand()
+        if args.corpus:
+            from .traces import CorpusError, expand_corpus, load_corpus
+            try:
+                corpus = load_corpus(args.corpus)
+                tasks = expand_corpus(
+                    corpus,
+                    protocols=args.protocol or ["verus", "cubic"],
+                    flow_counts=args.flows or [3],
+                    seeds=args.seeds,
+                    duration=args.duration,
+                    base_seed=args.base_seed,
+                    names=args.scenario or None,
+                )
+            except CorpusError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            spec = CampaignSpec(
+                scenarios=args.scenario or ["campus_pedestrian",
+                                            "city_driving"],
+                protocols=args.protocol or ["verus", "cubic"],
+                flow_counts=args.flows or [3],
+                seeds=args.seeds,
+                duration=(args.duration if args.duration is not None
+                          else 30.0),
+                technology=args.technology,
+                base_seed=args.base_seed,
+            )
+            tasks = spec.expand()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -379,17 +409,38 @@ def _run_chaos(args) -> int:
 
     backends = ["sim", "live"] if args.backend == "both" else [args.backend]
     try:
-        tasks = expand_chaos(
-            protocols=args.protocol or ["verus", "cubic"],
-            faults=args.fault or ["blackout", "chaos"],
-            seeds=args.seeds,
-            duration=args.duration,
-            backends=backends,
-            scenario=args.scenario,
-            flows=args.flows,
-            deadline=args.deadline,
-            base_seed=args.base_seed,
-        )
+        if args.corpus:
+            from .traces import CorpusError, expand_corpus_chaos, load_corpus
+            try:
+                corpus = load_corpus(args.corpus)
+                tasks = expand_corpus_chaos(
+                    corpus,
+                    protocols=args.protocol or ["verus", "cubic"],
+                    faults=args.fault or ["blackout", "chaos"],
+                    seeds=args.seeds,
+                    duration=args.duration,
+                    backends=backends,
+                    flows=args.flows,
+                    deadline=args.deadline,
+                    base_seed=args.base_seed,
+                    names=args.trace or None,
+                )
+            except CorpusError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            tasks = expand_chaos(
+                protocols=args.protocol or ["verus", "cubic"],
+                faults=args.fault or ["blackout", "chaos"],
+                seeds=args.seeds,
+                duration=(args.duration if args.duration is not None
+                          else 20.0),
+                backends=backends,
+                scenario=args.scenario,
+                flows=args.flows,
+                deadline=args.deadline,
+                base_seed=args.base_seed,
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -494,6 +545,83 @@ def _run_check(args) -> int:
     return 1
 
 
+def _run_corpus(args) -> int:
+    """``repro corpus``: manage content-addressed trace corpora — build
+    preset families, verify integrity, characterize, import, convert."""
+    from .traces import (
+        CorpusError,
+        build_corpus,
+        convert,
+        import_trace,
+        load_corpus,
+    )
+
+    try:
+        if args.action == "build":
+            def progress(name: str, status: str) -> None:
+                print(f"  {name}: {status}", file=sys.stderr)
+            report = build_corpus(root=args.dir, preset=args.preset,
+                                  jobs=args.jobs, force=args.force,
+                                  progress=progress)
+            print(f"corpus '{report.corpus.name}' at {args.dir}: "
+                  f"built: {len(report.built)}  "
+                  f"unchanged: {len(report.unchanged)}")
+            return 0
+        if args.action == "convert":
+            count = convert(args.src, args.dst, from_fmt=args.from_fmt,
+                            to_fmt=args.to_fmt)
+            print(f"wrote {count} delivery opportunities to {args.dst}")
+            return 0
+
+        corpus = load_corpus(args.dir)
+        if args.action == "verify":
+            report = corpus.verify()
+            rows = [{"trace": name, "status": status}
+                    for name, status in sorted(report.items())]
+            print(format_table(rows, title=f"corpus verify ({args.dir})"))
+            mismatched = sum(1 for s in report.values()
+                             if s.startswith("mismatch"))
+            missing = sum(1 for s in report.values() if s == "missing")
+            print(f"ok: {len(report) - mismatched - missing}  "
+                  f"missing: {missing}  mismatched: {mismatched}")
+            return 1 if mismatched else 0
+        if args.action == "list":
+            rows = [{"trace": name,
+                     "kind": corpus.entries[name].source.get("kind"),
+                     "opportunities": corpus.entries[name].opportunities,
+                     "duration_s": corpus.entries[name].stats.get(
+                         "duration_s"),
+                     "sha256": corpus.entries[name].sha256[:12]}
+                    for name in corpus.names()]
+            print(format_table(rows, title=f"corpus '{corpus.name}' "
+                                           f"({len(rows)} traces)"))
+            return 0
+        if args.action == "stats":
+            names = args.trace or corpus.names()
+            payload = {name: corpus.entry(name).stats for name in names}
+            if args.json:
+                import json
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                rows = [{"trace": name, **stats}
+                        for name, stats in sorted(payload.items())]
+                print(format_table(rows, title="corpus trace statistics"))
+            return 0
+        if args.action == "import":
+            entry = import_trace(corpus, args.file, name=args.name,
+                                 fmt=args.format, overwrite=args.overwrite)
+            print(f"imported {entry.name!r}: {entry.opportunities} "
+                  f"opportunities, sha256 {entry.sha256[:12]}")
+            return 0
+    except (CorpusError, ValueError, OSError) as exc:
+        # TraceFormatError is a ValueError, so malformed files land here
+        # too, not as tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"error: unknown corpus action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": _run_fig1, "fig2": _run_fig2, "fig3": _run_fig3,
     "fig4": _run_fig4, "fig5": _run_fig5, "fig7": _run_fig7,
@@ -560,8 +688,14 @@ def main(argv=None) -> int:
         "sweep", help="run a scenario×protocol×seeds campaign grid with "
                       "process-level parallelism and a durable result cache")
     sweep.add_argument("--scenario", action="append", default=None,
-                       help="scenario name; repeat for several "
-                            "(default: campus_pedestrian, city_driving)")
+                       help="scenario name (or, with --corpus, a trace "
+                            "name); repeat for several "
+                            "(default: campus_pedestrian, city_driving / "
+                            "every corpus trace)")
+    sweep.add_argument("--corpus", default=None, metavar="DIR",
+                       help="draw the scenario axis from a trace corpus: "
+                            "every trace (or the --scenario subset) becomes "
+                            "a replayed grid entry pinned by content hash")
     sweep.add_argument("--protocol", action="append", default=None,
                        help="protocol name; repeat for several "
                             "(default: verus, cubic)")
@@ -570,8 +704,9 @@ def main(argv=None) -> int:
                             "(default: 3)")
     sweep.add_argument("--seeds", type=int, default=1,
                        help="seed repetitions per cell (default 1)")
-    sweep.add_argument("--duration", type=float, default=30.0,
-                       help="simulated seconds per cell (default 30)")
+    sweep.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds per cell (default 30; with "
+                            "--corpus, each trace's own recorded length)")
     sweep.add_argument("--technology", default="3g", choices=["3g", "lte"])
     sweep.add_argument("--base-seed", type=int, default=0,
                        help="campaign seed; per-task seeds are derived "
@@ -610,13 +745,20 @@ def main(argv=None) -> int:
                        help="where cells run: the simulator, the live UDP "
                             "loopback emulator, or both (default sim)")
     chaos.add_argument("--scenario", default="campus_stationary")
+    chaos.add_argument("--corpus", default=None, metavar="DIR",
+                       help="run cells over the traces of a corpus instead "
+                            "of the synthesized --scenario channel")
+    chaos.add_argument("--trace", action="append", default=None,
+                       help="with --corpus: restrict to these trace names; "
+                            "repeat for several (default: every trace)")
     chaos.add_argument("--flows", type=int, default=1,
                        help="concurrent flows per cell (default 1)")
     chaos.add_argument("--seeds", type=int, default=1,
                        help="seed repetitions per cell (default 1)")
-    chaos.add_argument("--duration", type=float, default=20.0,
+    chaos.add_argument("--duration", type=float, default=None,
                        help="seconds per cell — wall-clock on the live "
-                            "backend (default 20)")
+                            "backend (default 20; with --corpus, each "
+                            "trace's own recorded length)")
     chaos.add_argument("--deadline", type=float, default=3.0,
                        help="post-disruption recovery deadline in seconds "
                             "(default 3)")
@@ -664,6 +806,68 @@ def main(argv=None) -> int:
                        help="wall-clock seconds per differential run "
                             "(default 3)")
 
+    corpus = sub.add_parser(
+        "corpus", help="manage content-addressed trace corpora: build "
+                       "seeded presets, verify integrity, characterize, "
+                       "import and convert trace files")
+    corpus_sub = corpus.add_subparsers(dest="action", required=True)
+
+    def _corpus_dir(p) -> None:
+        p.add_argument("--dir", default=".repro-corpus",
+                       help="corpus directory (default .repro-corpus)")
+
+    cb = corpus_sub.add_parser(
+        "build", help="synthesize a preset trace family; re-running is a "
+                      "content-addressed no-op")
+    _corpus_dir(cb)
+    cb.add_argument("--preset", default="default",
+                    help="corpus preset name: default or mini")
+    cb.add_argument("--jobs", type=int, default=1,
+                    help="synthesis worker processes (default 1; output is "
+                         "bit-identical at any value)")
+    cb.add_argument("--force", action="store_true",
+                    help="re-synthesize even if files are already current")
+
+    cv = corpus_sub.add_parser(
+        "verify", help="re-hash every trace file against the manifest")
+    _corpus_dir(cv)
+
+    cs = corpus_sub.add_parser(
+        "stats", help="per-trace characterization (rates, outages, "
+                      "burstiness)")
+    _corpus_dir(cs)
+    cs.add_argument("--trace", action="append", default=None,
+                    help="trace name; repeat for several (default: all)")
+    cs.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON instead of a table")
+
+    cl = corpus_sub.add_parser("list", help="list the corpus manifest")
+    _corpus_dir(cl)
+
+    ci = corpus_sub.add_parser(
+        "import", help="import an external trace file (any supported "
+                       "format) with provenance")
+    _corpus_dir(ci)
+    ci.add_argument("file", help="trace file to import")
+    ci.add_argument("--name", default=None,
+                    help="corpus trace name (default: the file's stem)")
+    ci.add_argument("--format", default=None,
+                    choices=["mahimahi", "seconds", "csv"],
+                    help="source format (default: auto-detect)")
+    ci.add_argument("--overwrite", action="store_true",
+                    help="replace an existing trace of the same name")
+
+    cc = corpus_sub.add_parser(
+        "convert", help="convert a trace file between formats (lossless)")
+    cc.add_argument("src", help="input trace file")
+    cc.add_argument("dst", help="output trace file")
+    cc.add_argument("--from", dest="from_fmt", default=None,
+                    choices=["mahimahi", "seconds", "csv"],
+                    help="input format (default: auto-detect)")
+    cc.add_argument("--to", dest="to_fmt", default=None,
+                    choices=["mahimahi", "seconds", "csv"],
+                    help="output format (default: by extension, mahimahi)")
+
     trace = sub.add_parser("trace", help="generate a channel trace file")
     trace.add_argument("--scenario", default="city_driving")
     trace.add_argument("--technology", default="3g", choices=["3g", "lte"])
@@ -694,6 +898,8 @@ def main(argv=None) -> int:
         return _run_chaos(args)
     if args.command == "check":
         return _run_check(args)
+    if args.command == "corpus":
+        return _run_corpus(args)
     if args.command == "report":
         from .experiments.full_report import generate_report
         text = generate_report(duration=args.duration, items=args.items,

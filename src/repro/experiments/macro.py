@@ -11,7 +11,7 @@ independent channel seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +21,11 @@ from .runner import FlowSpec, repeat_flows, run_trace_contention
 
 #: Cell capacities for the macro experiments (whole-cell, shared by 9 flows).
 MACRO_RATE_BPS = {"3g": 16e6, "lte": 40e6}
+
+#: Replacement channel source: ``(technology, repetition) -> seconds
+#: array``.  Lets the macro experiments run over pinned corpus traces
+#: (e.g. the committed fig8 mini-corpus) instead of fresh synthesis.
+TraceProvider = Callable[[str, int], np.ndarray]
 
 
 @dataclass
@@ -51,7 +56,9 @@ def _macro_trace(technology: str, duration: float, seed: int) -> np.ndarray:
 
 def _run_protocol(protocol: str, technology: str, duration: float,
                   repetitions: int, flows: int, seed: int,
-                  options: Optional[dict] = None) -> MacroPoint:
+                  options: Optional[dict] = None,
+                  trace_provider: Optional[TraceProvider] = None
+                  ) -> MacroPoint:
     options = dict(options or {})
     if protocol == "verus":
         # Paper-literal lifetime D_min: the macro scenario (homogeneous
@@ -62,7 +69,10 @@ def _run_protocol(protocol: str, technology: str, duration: float,
     throughputs: List[float] = []
     delays: List[float] = []
     for rep in range(repetitions):
-        trace = _macro_trace(technology, duration, seed + 101 * rep)
+        if trace_provider is not None:
+            trace = trace_provider(technology, rep)
+        else:
+            trace = _macro_trace(technology, duration, seed + 101 * rep)
         specs = repeat_flows(protocol, flows, **options)
         # No residual stochastic loss: cellular link layers hide radio
         # loss behind HARQ/RLC retransmission, which is exactly why
@@ -83,7 +93,8 @@ def _run_protocol(protocol: str, technology: str, duration: float,
 
 def fig8_realworld(duration: float = 60.0, repetitions: int = 2,
                    flows: int = 9, seed: int = 42,
-                   technologies: Sequence[str] = ("3g", "lte")
+                   technologies: Sequence[str] = ("3g", "lte"),
+                   trace_provider: Optional[TraceProvider] = None
                    ) -> List[MacroPoint]:
     """Fig 8: Cubic, Vegas, Verus (R=6) and Sprout on 3G and LTE.
 
@@ -91,6 +102,9 @@ def fig8_realworld(duration: float = 60.0, repetitions: int = 2,
     magnitude below Cubic/Vegas; Verus throughput is comparable to or
     slightly above Cubic; Verus sits near Sprout with slightly higher
     throughput and delay.
+
+    ``trace_provider`` replaces per-repetition synthesis with replayed
+    traces (every protocol still sees the same channel per repetition).
     """
     protocols = [
         ("cubic", {}),
@@ -105,7 +119,8 @@ def fig8_realworld(duration: float = 60.0, repetitions: int = 2,
             label = opts.pop("label", protocol)
             point = _run_protocol(protocol, technology, duration,
                                   repetitions, flows, seed,
-                                  {**opts, "label": label})
+                                  {**opts, "label": label},
+                                  trace_provider=trace_provider)
             points.append(point)
     return points
 

@@ -33,7 +33,12 @@ BACKENDS = ("sim", "live")
 
 @dataclass(frozen=True)
 class ChaosTask:
-    """One chaos-matrix cell: protocol × fault schedule × seed × backend."""
+    """One chaos-matrix cell: protocol × fault schedule × seed × backend.
+
+    Like :class:`~repro.campaign.spec.TaskSpec`, the channel comes from
+    either a synthesized ``scenario`` (the default) or a pinned corpus
+    trace (``trace_file`` + ``trace_sha256``), in which case
+    ``scenario`` is a free-form label."""
 
     protocol: str
     fault: str
@@ -46,6 +51,8 @@ class ChaosTask:
     rtt: float = 0.01
     warmup: float = 1.0
     deadline: float = 3.0
+    trace_file: Optional[str] = None
+    trace_sha256: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_NAMES:
@@ -56,9 +63,12 @@ class ChaosTask:
                              f"choose from {FAULT_PRESETS}")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}")
-        if self.scenario not in SCENARIO_NAMES:
+        if self.trace_file is None and self.scenario not in SCENARIO_NAMES:
             raise ValueError(f"unknown scenario {self.scenario!r}; "
-                             f"choose from {SCENARIO_NAMES}")
+                             f"choose from {SCENARIO_NAMES} "
+                             f"(or provide trace_file)")
+        if self.trace_sha256 is not None and self.trace_file is None:
+            raise ValueError("trace_sha256 requires trace_file")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.flows < 1:
@@ -79,6 +89,8 @@ class ChaosTask:
             "rtt": self.rtt,
             "warmup": self.warmup,
             "deadline": self.deadline,
+            "trace_file": self.trace_file,
+            "trace_sha256": self.trace_sha256,
         }
 
     @classmethod
@@ -86,9 +98,14 @@ class ChaosTask:
         return cls(**payload)
 
     def key(self) -> str:
-        """Content address, versioned like campaign task keys."""
+        """Content address, versioned like campaign task keys.  When a
+        trace hash pins the channel, the file path is dropped from the
+        address (relocating a corpus must not invalidate the cache)."""
         from .. import __version__ as repro_version
-        body = _canonical_json({"chaos_task": self.to_dict(),
+        body = self.to_dict()
+        if self.trace_sha256 is not None:
+            body["trace_file"] = None
+        body = _canonical_json({"chaos_task": body,
                                 "repro_version": repro_version})
         return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
@@ -160,21 +177,23 @@ def run_chaos_task(payload: dict) -> dict:
     specs = repeat_flows(task.protocol, task.flows)
     d_start, d_end = disruption_window(schedule)
 
+    def cell_trace():
+        if task.trace_file is not None:
+            from ..campaign.spec import _load_task_trace
+            return _load_task_trace(task)
+        return generate_scenario_trace(task.scenario,
+                                       duration=task.duration,
+                                       seed=task.seed)
+
     if task.backend == "sim":
         from .sim import run_faulted_contention
-        trace = generate_scenario_trace(task.scenario,
-                                        duration=task.duration,
-                                        seed=task.seed)
-        result = run_faulted_contention(trace, specs, schedule,
+        result = run_faulted_contention(cell_trace(), specs, schedule,
                                         duration=task.duration,
                                         rtt=task.rtt, warmup=task.warmup,
                                         seed=task.seed)
     else:
         from ..live.session import run_live_session
-        trace = generate_scenario_trace(task.scenario,
-                                        duration=task.duration,
-                                        seed=task.seed)
-        result = run_live_session(specs, trace=trace,
+        result = run_live_session(specs, trace=cell_trace(),
                                   duration=task.duration,
                                   warmup=task.warmup, seed=task.seed,
                                   fault_schedule=schedule)

@@ -85,7 +85,12 @@ class LinkEmulator:
         absolute session times on this clock.
     trace:
         Replayed delivery-opportunity timestamps (seconds from session
-        start).  Looped cyclically, like ``TraceLink``.
+        start), or a path to a trace file — mahimahi ``.pps``,
+        newline-seconds or CSV rate series, auto-detected via
+        :mod:`repro.traces.formats`.  Looped cyclically, like
+        ``TraceLink``: on wraparound the next cycle continues ``gap_s``
+        after the last opportunity (no dead span equal to the trace's
+        first timestamp).
     stepper:
         Live channel generator; mutually exclusive with ``trace``.
     receiver:
@@ -129,6 +134,7 @@ class LinkEmulator:
                  bytes_per_opportunity: int = MTU_BYTES,
                  rng: Optional[np.random.Generator] = None,
                  stepper_chunk: float = 0.25,
+                 gap_s: float = 0.001,
                  impairment=None,
                  faults=None,
                  uplink_faults=None):
@@ -138,11 +144,20 @@ class LinkEmulator:
             raise ValueError(f"loss_rate must be in [0, 1) (got {loss_rate})")
         if downlink_delay < 0 or uplink_delay < 0:
             raise ValueError("delays must be non-negative")
+        if gap_s <= 0:
+            raise ValueError(f"gap_s must be positive (got {gap_s})")
         self.clock = clock
         self.stepper = stepper
+        self.gap_s = float(gap_s)
         self.times: Optional[np.ndarray] = None
         if trace is not None:
-            arr = np.asarray(trace, dtype=float)
+            if isinstance(trace, (str, bytes)) or hasattr(trace, "__fspath__"):
+                # Deferred import: repro.traces pulls in the campaign
+                # layer, which the live path must not load eagerly.
+                from ..traces.formats import read_trace_seconds
+                arr = read_trace_seconds(trace)
+            else:
+                arr = np.asarray(trace, dtype=float)
             if arr.size == 0:
                 raise ValueError("trace must contain at least one opportunity")
             if np.any(np.diff(arr) < 0):
@@ -234,8 +249,11 @@ class LinkEmulator:
         if self._index >= self.times.size:
             self._index = 0
             self._cycle += 1
-        span = float(self.times[-1]) + (float(self.times[0]) or 0.001)
-        when = self._cycle * span + float(self.times[self._index])
+        # Same wraparound seam as TraceLink: the next cycle continues
+        # gap_s after the last opportunity, not after a dead span equal
+        # to the trace's first timestamp.
+        period = float(self.times[-1] - self.times[0]) + self.gap_s
+        when = self._cycle * period + float(self.times[self._index])
         self._index += 1
         self.clock.schedule(max(0.0, when - self.clock.now),
                             self._opportunity_replay)

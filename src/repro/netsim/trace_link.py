@@ -45,6 +45,14 @@ class TraceLink:
     loss_rate:
         Independent stochastic loss applied per delivered packet, modelling
         residual losses after link-layer retransmission.
+    gap_s:
+        Continuation gap inserted at the trace-wraparound seam: when the
+        trace repeats, the first opportunity of the next cycle follows the
+        last of the previous one by ``gap_s``, regardless of where in its
+        own timeline the trace starts.  Without this, a trace whose first
+        timestamp is late (e.g. a segment cut from the middle of a longer
+        capture) would replay with a dead span equal to that first
+        timestamp on every loop, silently lowering the looped rate.
     """
 
     def __init__(self, sim: Simulator, opportunities: Sequence[float],
@@ -55,6 +63,7 @@ class TraceLink:
                  loop: bool = True,
                  loss_rate: float = 0.0,
                  rng: Optional[np.random.Generator] = None,
+                 gap_s: float = 0.001,
                  name: str = "tracelink"):
         times = np.asarray(opportunities, dtype=float)
         if times.size == 0:
@@ -65,6 +74,8 @@ class TraceLink:
             raise ValueError("trace timestamps must be non-negative")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1) (got {loss_rate})")
+        if gap_s <= 0:
+            raise ValueError(f"gap_s must be positive (got {gap_s})")
         self.sim = sim
         self.times = times
         self.queue = queue if queue is not None else DropTailQueue()
@@ -74,6 +85,7 @@ class TraceLink:
         self.loop = loop
         self.loss_rate = float(loss_rate)
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.gap_s = float(gap_s)
         self.name = name
         self._origin = sim.now
         self._index = 0
@@ -90,8 +102,15 @@ class TraceLink:
         self.queue.push(packet, self.sim.now)
 
     # ------------------------------------------------------------------
-    def _trace_span(self) -> float:
-        return float(self.times[-1]) if self.times.size else 0.0
+    def _loop_period(self) -> float:
+        """One replay cycle: last-minus-first span plus the seam gap.
+
+        Using the *relative* span means the wraparound behaves like
+        :func:`~repro.cellular.trace_io.concatenate_traces` — the next
+        cycle continues ``gap_s`` after the last opportunity instead of
+        replaying the (possibly large) lead-in before the first one.
+        """
+        return float(self.times[-1] - self.times[0]) + self.gap_s
 
     def _next_opportunity_time(self) -> Optional[float]:
         if self._index >= self.times.size:
@@ -99,8 +118,8 @@ class TraceLink:
                 return None
             self._index = 0
             self._cycle += 1
-        span = self._trace_span() + (float(self.times[0]) or 0.001)
-        return self._origin + self._cycle * span + float(self.times[self._index])
+        return (self._origin + self._cycle * self._loop_period()
+                + float(self.times[self._index]))
 
     def _schedule_next(self) -> None:
         when = self._next_opportunity_time()
@@ -140,8 +159,13 @@ class TraceLink:
 
     # ------------------------------------------------------------------
     def average_rate_bps(self) -> float:
-        """Mean capacity the trace offers over one replay cycle."""
-        span = self._trace_span()
-        if span <= 0:
+        """Mean capacity the trace offers over one replay cycle.
+
+        Uses the loop period (relative span + seam gap), so a looped
+        replay averages exactly this rate regardless of the trace's
+        absolute start time.
+        """
+        period = self._loop_period()
+        if period <= 0:
             return float("inf")
-        return self.times.size * self.bytes_per_opportunity * 8.0 / span
+        return self.times.size * self.bytes_per_opportunity * 8.0 / period

@@ -1,0 +1,115 @@
+"""Per-trace characterization, emitted as JSON.
+
+Summarises a delivery-opportunity trace along the axes the paper's §3
+measurement study uses to argue cellular channels are unpredictable:
+
+* **rate** — mean plus p95/p99 of the windowed rate distribution;
+* **outages** — count, total and longest span with no opportunities;
+* **burstiness** — coefficient of variation of inter-opportunity gaps
+  (the "bursts of variable size at variable intervals" observation);
+* **short-timescale variability** — coefficient of variation of the
+  windowed rate at 100 ms and 20 ms (Fig 4's two views), which must
+  *grow* as the window shrinks on a genuinely cellular-like trace.
+
+These are descriptive statistics for corpus manifests and ``repro
+corpus stats``; the pass/fail distributional *checks* stay in
+:mod:`repro.cellular.validation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netsim.packet import MTU_BYTES
+from .formats import validate_ms
+
+
+@dataclass
+class TraceStats:
+    """Descriptive summary of one delivery-opportunity trace."""
+
+    opportunities: int
+    duration_s: float
+    mean_rate_bps: float
+    p95_rate_bps: float
+    p99_rate_bps: float
+    outage_count: int
+    outage_total_s: float
+    outage_max_s: float
+    gap_cv: float
+    cv_100ms: float
+    cv_20ms: float
+
+    def to_dict(self) -> dict:
+        return {
+            "opportunities": self.opportunities,
+            "duration_s": round(self.duration_s, 3),
+            "mean_rate_bps": round(self.mean_rate_bps, 1),
+            "p95_rate_bps": round(self.p95_rate_bps, 1),
+            "p99_rate_bps": round(self.p99_rate_bps, 1),
+            "outage_count": self.outage_count,
+            "outage_total_s": round(self.outage_total_s, 3),
+            "outage_max_s": round(self.outage_max_s, 3),
+            "gap_cv": round(self.gap_cv, 4),
+            "cv_100ms": round(self.cv_100ms, 4),
+            "cv_20ms": round(self.cv_20ms, 4),
+        }
+
+
+def _windowed_rates(times_s: np.ndarray, window: float, duration: float,
+                    packet_bytes: int) -> np.ndarray:
+    n_bins = max(1, int(np.ceil(duration / window)))
+    edges = np.arange(n_bins + 1) * window
+    counts, _ = np.histogram(times_s, bins=edges)
+    return counts * packet_bytes * 8.0 / window
+
+
+def _cv(series: np.ndarray) -> float:
+    mean = float(np.mean(series))
+    if mean <= 0:
+        return float("inf") if np.any(series > 0) else 0.0
+    return float(np.std(series)) / mean
+
+
+def characterize(times_ms: np.ndarray, *,
+                 packet_bytes: int = MTU_BYTES,
+                 rate_window_s: float = 0.1,
+                 outage_threshold_s: float = 0.2) -> TraceStats:
+    """Compute :class:`TraceStats` for a canonical ms trace.
+
+    ``rate_window_s`` sets the bin used for the rate percentiles;
+    an *outage* is any inter-opportunity gap exceeding
+    ``outage_threshold_s`` (default 200 ms — an order of magnitude above
+    typical scheduling gaps, well below the paper's multi-second driving
+    outages, so both register).
+    """
+    arr = validate_ms(times_ms)
+    times_s = arr.astype(float) / 1000.0
+    if arr.size == 0:
+        return TraceStats(opportunities=0, duration_s=0.0,
+                          mean_rate_bps=0.0, p95_rate_bps=0.0,
+                          p99_rate_bps=0.0, outage_count=0,
+                          outage_total_s=0.0, outage_max_s=0.0,
+                          gap_cv=0.0, cv_100ms=0.0, cv_20ms=0.0)
+    duration = max(float(times_s[-1] - times_s[0]), 1e-3)
+    rel = times_s - times_s[0]
+
+    rates = _windowed_rates(rel, rate_window_s, duration, packet_bytes)
+    gaps = np.diff(times_s)
+    outage_gaps = gaps[gaps > outage_threshold_s]
+
+    return TraceStats(
+        opportunities=int(arr.size),
+        duration_s=float(times_s[-1]),
+        mean_rate_bps=arr.size * packet_bytes * 8.0 / duration,
+        p95_rate_bps=float(np.percentile(rates, 95)),
+        p99_rate_bps=float(np.percentile(rates, 99)),
+        outage_count=int(outage_gaps.size),
+        outage_total_s=float(outage_gaps.sum()),
+        outage_max_s=float(outage_gaps.max()) if outage_gaps.size else 0.0,
+        gap_cv=_cv(gaps) if gaps.size else 0.0,
+        cv_100ms=_cv(_windowed_rates(rel, 0.100, duration, packet_bytes)),
+        cv_20ms=_cv(_windowed_rates(rel, 0.020, duration, packet_bytes)),
+    )

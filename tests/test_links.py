@@ -235,6 +235,39 @@ class TestTraceLink:
         expected = 100 * 1400 * 8 / 0.100
         assert link.average_rate_bps() == pytest.approx(expected)
 
+    def test_loop_seam_has_no_dead_span(self):
+        """Regression: a trace cut from mid-capture (large first
+        timestamp) must loop as a continuation — the next cycle starts
+        gap_s after the last opportunity, not after replaying the
+        lead-in.  Previously each loop stalled for ~first-timestamp
+        seconds, silently lowering the looped rate."""
+        sim = Simulator()
+        sink, dst = collect()
+        trace = [0.500, 0.510, 0.520]   # 20 ms of activity, 500 ms in
+        link = TraceLink(sim, trace, dst=dst, loop=True)
+        for i in range(30):
+            link.send(Packet(flow_id=0, seq=i))
+        # 10 cycles of period 0.021 s: all 30 delivered by 0.5 + 9*0.021
+        # + 0.020; the old span (0.52 + 0.5) would deliver only 3.
+        sim.run(until=0.8)
+        assert len(sink) == 30
+
+    def test_looped_rate_matches_average_rate(self):
+        """The measured looped delivery rate equals average_rate_bps
+        regardless of the trace's absolute start time."""
+        sim = Simulator()
+        sink, dst = collect()
+        trace = np.array([0.300, 0.310, 0.320, 0.330])
+        link = TraceLink(sim, trace, dst=dst, loop=True,
+                         bytes_per_opportunity=1400)
+        cycles = 50
+        for i in range(4 * cycles):
+            link.send(Packet(flow_id=0, seq=i, size=1400))
+        sim.run(until=trace[0] + cycles * link._loop_period())
+        elapsed = sim.now - trace[0]
+        measured = len(sink) * 1400 * 8 / elapsed
+        assert measured == pytest.approx(link.average_rate_bps(), rel=0.05)
+
     def test_rejects_unsorted_trace(self):
         with pytest.raises(ValueError):
             TraceLink(Simulator(), [0.02, 0.01])
