@@ -1,130 +1,48 @@
 """Performance microbenchmarks of the simulation substrate.
 
-Unlike the figure benches (one full experiment per round), these measure
-the library's hot paths with proper multi-round timing: event throughput
-of the engine, queue operations, spline construction/lookup, channel
-generation, and end-to-end simulated-seconds-per-wall-second for a
-Verus flow.  They quantify the "throughput limits" the reproduction
-calibration flagged for a Python implementation.
+These now drive the named benchmark suite in :mod:`repro.obs.bench` —
+the same definitions ``repro bench`` runs — so workloads, seeds, and
+parameters live in exactly one place.  pytest-benchmark provides the
+multi-round timing and statistics here; ``repro bench`` provides the
+schema-versioned JSON artefacts and the compare gate.  A workload
+change shows up in both as a changed content hash.
+
+The ``full`` parameter set matches what this file used to hardcode
+(100k engine events, 10k queue packets, 10 simulated Verus seconds...).
 """
 
-import numpy as np
+import pytest
 
-from repro.cellular import CellularChannelModel, ChannelParams
-from repro.core import DelayProfiler, VerusConfig, VerusReceiver, VerusSender
-from repro.interp import PchipInterpolator
-from repro.netsim import DirectPath, DropTailQueue, Link, Packet, REDQueue, Simulator
+from repro.obs.bench import BENCHMARKS
 
+MODE = "full"
 
-def test_perf_engine_event_throughput(benchmark):
-    """Schedule + dispatch cost of the heap engine (100k events)."""
-
-    def run():
-        sim = Simulator()
-        counter = [0]
-
-        def tick():
-            counter[0] += 1
-
-        for i in range(100_000):
-            sim.schedule(i * 1e-6, tick)
-        sim.run()
-        return counter[0]
-
-    assert benchmark(run) == 100_000
+#: Sanity floor per benchmark: the checksum ``run`` returns must clear
+#: it, mirroring the asserts of the pre-suite version of this file.
+CHECKSUM_FLOORS = {
+    "engine.events": 100_000,        # every scheduled event dispatched
+    "queue.droptail": 10_000,        # every packet drained
+    "queue.red": 1,                  # some packets accepted
+    "profile.update": 10,            # one rebuild per 1k samples
+    "channel.generate": 1_000,       # trace has real resolution
+    "tracelink.replay": 1_000,       # replay delivered packets
+    "sim.verus_direct": 1_000,       # the flow actually moved data
+    "sim.contention": 1_000,
+    "sim.contention_telemetry": 1_000,
+}
 
 
-def test_perf_droptail_queue(benchmark):
-    """Push/pop cycle on the drop-tail queue (10k packets)."""
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_perf(name, benchmark):
+    bench = BENCHMARKS[name]
+    workload, workload_hash = bench.setup(bench.params[MODE])
+    assert len(workload_hash) == 64      # content-addressed workload
 
-    packets = [Packet(flow_id=0, seq=i) for i in range(10_000)]
-
-    def run():
-        queue = DropTailQueue()
-        for packet in packets:
-            queue.push(packet, 0.0)
-        drained = 0
-        while queue.pop(0.0) is not None:
-            drained += 1
-        return drained
-
-    assert benchmark(run) == 10_000
-
-
-def test_perf_red_queue(benchmark):
-    """RED's EWMA + probabilistic drop path (10k packets)."""
-
-    packets = [Packet(flow_id=0, seq=i) for i in range(10_000)]
-
-    def run():
-        rng = np.random.default_rng(0)
-        queue = REDQueue(min_th_bytes=2_000_000, max_th_bytes=6_000_000,
-                         rng=rng)
-        accepted = 0
-        for packet in packets:
-            if queue.push(packet, 0.0):
-                accepted += 1
-        return accepted
-
-    assert benchmark(run) > 0
-
-
-def test_perf_pchip_build_and_eval(benchmark):
-    """Spline construction + 512-point grid evaluation (profile rebuild)."""
-
-    rng = np.random.default_rng(0)
-    x = np.sort(rng.choice(np.arange(1, 2000), size=256, replace=False))
-    y = np.cumsum(rng.random(256)) * 0.001 + 0.02
-
-    def run():
-        spline = PchipInterpolator(x.astype(float), y)
-        grid = np.linspace(x[0], x[-1], 512)
-        return float(np.sum(spline(grid)))
-
-    assert benchmark(run) > 0
-
-
-def test_perf_profile_update_path(benchmark):
-    """The per-ACK profiler hot path: 10k add_sample calls + rebuilds."""
-
-    rng = np.random.default_rng(1)
-    windows = rng.integers(1, 400, size=10_000)
-    delays = rng.uniform(0.02, 0.3, size=10_000)
-
-    def run():
-        profiler = DelayProfiler()
-        for i in range(10_000):
-            profiler.add_sample(int(windows[i]), float(delays[i]),
-                                now=i * 0.001)
-            if i % 1000 == 999:
-                profiler.interpolate(d_min=0.02, now=i * 0.001)
-        return profiler.interpolations
-
-    assert benchmark(run) == 10
-
-
-def test_perf_channel_generation(benchmark):
-    """Trace synthesis rate (60 simulated seconds of 10 Mbps LTE)."""
-
-    params = ChannelParams(mean_rate_bps=10e6)
-
-    def run():
-        model = CellularChannelModel(params, rng=np.random.default_rng(2))
-        return model.generate(60.0).size
-
-    assert benchmark(run) > 1000
-
-
-def test_perf_verus_simulation_rate(benchmark):
-    """End-to-end: wall cost of 10 simulated seconds of a 10 Mbps Verus
-    flow (the number that bounds every experiment's runtime)."""
-
-    def run():
-        sim = Simulator()
-        link = Link(sim, rate_bps=10e6, queue=DropTailQueue())
-        sender = VerusSender(0, VerusConfig())
-        receiver = VerusReceiver(0)
-        DirectPath(sim, link, sender, receiver, rtt=0.05).run(10.0)
-        return receiver.packets_received
-
-    assert benchmark(run) > 1000
+    result = benchmark.pedantic(bench.run, args=(workload,),
+                                rounds=bench.repeats[MODE], iterations=1,
+                                warmup_rounds=0)
+    assert result is not None
+    floor = CHECKSUM_FLOORS.get(name)
+    if floor is not None:
+        assert result >= floor, (
+            f"{name}: checksum {result!r} below sanity floor {floor}")

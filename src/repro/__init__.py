@@ -28,6 +28,10 @@ Package layout
 ``repro.experiments``
     One entry point per paper figure/table (Figs 1-15, Table 1, and the
     §5.3 sensitivity sweeps).
+``repro.obs``
+    Observability: meters, protocol timelines, span timers/profilers,
+    and the ``repro bench`` performance benchmark suite (lazy import,
+    like ``repro.campaign``).
 
 Quickstart
 ----------

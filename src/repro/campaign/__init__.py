@@ -17,7 +17,12 @@ Dataflow::
           +---- aggregate_campaign(tasks, outcomes) ----> rows
 """
 
-from .aggregate import aggregate_campaign, mean_ci, rows_as_json
+from .aggregate import (
+    aggregate_campaign,
+    aggregate_timings,
+    mean_ci,
+    rows_as_json,
+)
 from .executor import (
     CampaignResult,
     ExecutorStats,
@@ -45,6 +50,7 @@ __all__ = [
     "TaskOutcome",
     "TaskSpec",
     "aggregate_campaign",
+    "aggregate_timings",
     "mean_ci",
     "rows_as_json",
     "run_campaign",

@@ -83,6 +83,36 @@ def aggregate_campaign(tasks: Sequence[TaskSpec],
     return rows
 
 
+def aggregate_timings(outcomes: Sequence[TaskOutcome]) -> Optional[dict]:
+    """Roll up per-task span timings (``collect_timings`` sweeps).
+
+    Cached outcomes may carry no ``"timings"`` block (they were stored by
+    a run that did not collect them, or the work never re-ran); they are
+    counted but not averaged.  Returns None when no outcome has timings.
+    """
+    per_key: Dict[str, List[float]] = {}
+    with_timings = 0
+    for outcome in outcomes:
+        if not outcome.ok or not isinstance(outcome.result, dict):
+            continue
+        timings = outcome.result.get("timings")
+        if not timings:
+            continue
+        with_timings += 1
+        for key, value in timings.items():
+            per_key.setdefault(key, []).append(float(value))
+    if not with_timings:
+        return None
+    rollup = {"tasks": len(outcomes), "tasks_with_timings": with_timings,
+              "mean": {}, "total": {}, "max": {}}
+    for key, values in sorted(per_key.items()):
+        arr = np.asarray(values, dtype=float)
+        rollup["mean"][key] = round(float(arr.mean()), 6)
+        rollup["total"][key] = round(float(arr.sum()), 6)
+        rollup["max"][key] = round(float(arr.max()), 6)
+    return rollup
+
+
 def rows_as_json(rows: List[dict]) -> str:
     """Canonical serialization of aggregated rows — the artefact the
     determinism guarantee (serial == parallel, byte for byte) is stated

@@ -74,6 +74,8 @@ class ExecutorStats:
     timeouts: int = 0
     retries: int = 0
     pool_restarts: int = 0
+    #: Wall time spent probing the result store for cached cells.
+    cache_lookup_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -140,6 +142,12 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
             task_dict = payloads[outcome.index]
             if not isinstance(task_dict, dict):
                 task_dict = {"payload": repr(task_dict)}
+            else:
+                # Underscore keys are runtime directives (telemetry,
+                # submission stamps), not part of the task's identity —
+                # keep the stored spec canonical.
+                task_dict = {k: v for k, v in task_dict.items()
+                             if not k.startswith("_")}
             store.put(outcome.key, task_dict, outcome.result,
                       seconds=outcome.seconds)
         if progress is not None:
@@ -149,7 +157,9 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
     for index in range(n):
         key = keys[index]
         if resume and store is not None and key is not None:
+            lookup_started = time.monotonic()
             record = store.get(key)
+            stats.cache_lookup_seconds += time.monotonic() - lookup_started
             if record is not None:
                 finish(TaskOutcome(index=index, key=key, status="cached",
                                    result=record["result"]))
@@ -328,12 +338,19 @@ def run_campaign(spec, *, jobs: int = 1,
                  resume: bool = True,
                  timeout: Optional[float] = None,
                  retries: int = 1, backoff: float = 0.25,
+                 collect_timings: bool = False,
                  progress: Optional[ProgressFn] = None) -> CampaignResult:
     """Expand a :class:`CampaignSpec` (or take a pre-expanded task list)
     and run every cell through the engine.
 
     With neither ``store`` nor ``cache_dir`` the sweep runs uncached;
     passing ``cache_dir`` creates a :class:`ResultStore` there.
+
+    ``collect_timings`` asks each worker for per-task span timings
+    (queue wait, trace generation, simulation run) in the result summary
+    under ``"timings"``.  The directive rides in underscore-prefixed
+    payload keys, which are stripped before hashing and storage, so
+    cache keys — and therefore resumability — are unaffected.
     """
     if isinstance(spec, CampaignSpec):
         tasks = spec.expand()
@@ -341,7 +358,13 @@ def run_campaign(spec, *, jobs: int = 1,
         tasks = list(spec)
     if store is None and cache_dir is not None:
         store = ResultStore(cache_dir)
-    run = run_tasks([t.to_dict() for t in tasks], run_simulation_task,
+    payloads = [t.to_dict() for t in tasks]
+    if collect_timings:
+        submitted = time.time()
+        for payload in payloads:
+            payload["_timings"] = True
+            payload["_submitted"] = submitted
+    run = run_tasks(payloads, run_simulation_task,
                     jobs=jobs, timeout=timeout, retries=retries,
                     backoff=backoff, store=store,
                     keys=[t.key() for t in tasks], resume=resume,

@@ -241,11 +241,27 @@ def run_simulation_task(payload: dict) -> dict:
 
     Module-level (not a closure) so :class:`ProcessPoolExecutor` can
     pickle it to worker processes.
+
+    Underscore-prefixed payload keys are runtime directives, not part of
+    the task spec: ``_timings`` asks for per-task span timings (queue
+    wait, trace generation, simulation run) under ``"timings"`` in the
+    summary, and ``_submitted`` carries the submission wall-clock stamp
+    the queue wait is measured against.
     """
+    import time as _time
+
     from ..cellular import generate_scenario_trace
     from ..experiments.runner import repeat_flows, run_trace_contention
 
+    started = _time.time()
+    want_timings = bool(payload.get("_timings"))
+    submitted = payload.get("_submitted")
+    if any(k.startswith("_") for k in payload):
+        payload = {k: v for k, v in payload.items() if not k.startswith("_")}
+
     spec = TaskSpec.from_dict(payload)
+    perf = _time.perf_counter
+    t0 = perf()
     if spec.trace_file is not None:
         trace = _load_task_trace(spec)
     else:
@@ -253,9 +269,22 @@ def run_simulation_task(payload: dict) -> dict:
                                         technology=spec.technology,
                                         mean_rate_bps=spec.cell_rate_bps,
                                         seed=spec.seed)
+    trace_seconds = perf() - t0
     flow_specs = repeat_flows(spec.protocol, spec.flows, label=spec.label,
                               **spec.options_dict())
+    t1 = perf()
     result = run_trace_contention(trace, flow_specs, duration=spec.duration,
                                   rtt=spec.rtt, warmup=spec.warmup,
                                   seed=spec.seed)
-    return result.summary()
+    sim_seconds = perf() - t1
+    summary = result.summary()
+    if want_timings:
+        timings = {
+            "trace_gen_s": round(trace_seconds, 6),
+            "sim_run_s": round(sim_seconds, 6),
+            "total_s": round(perf() - t0, 6),
+        }
+        if submitted is not None:
+            timings["queue_wait_s"] = round(max(0.0, started - submitted), 6)
+        summary["timings"] = timings
+    return summary

@@ -68,7 +68,7 @@ class VerusLawMonitor:
 
     # -- observer events ------------------------------------------------
     def on_loss(self, sender, *, time: float, w_loss: float,
-                w_after: float, kind: str) -> None:
+                w_after: float, kind: str, **extra) -> None:
         cfg = sender.config
         self.report.count("loss-decrease")
         allowed = max(cfg.min_window, cfg.multiplicative_decrease * w_loss)
@@ -83,7 +83,8 @@ class VerusLawMonitor:
                                         f"not positive")
 
     def on_setpoint(self, sender, *, time: float, d_est: float,
-                    d_min: float, d_max: float, window: float) -> None:
+                    d_min: float, d_max: float, window: float,
+                    **extra) -> None:
         self.report.count("dest-bounds")
         if not _finite(d_est):
             self.report.violate("dest-bounds", time, flow_id=sender.flow_id,
@@ -104,7 +105,8 @@ class VerusLawMonitor:
                         f"[{cfg.min_window}, {cfg.max_window}]")
 
     def on_epoch(self, sender, *, time: float, window: float, d_est,
-                 mode: str, inflight: int, pending_rtx: int) -> None:
+                 mode: str, inflight: int, pending_rtx: int,
+                 **extra) -> None:
         self.report.count("window-bounds")
         if not (_finite(window) and window > 0):
             self.report.violate("window-bounds", time, flow_id=sender.flow_id,
@@ -134,7 +136,7 @@ class TcpLawMonitor:
         self.report = report
 
     def on_loss(self, sender, *, time: float, w_loss: float,
-                w_after: float, kind: str) -> None:
+                w_after: float, kind: str, **extra) -> None:
         self.report.count("loss-decrease")
         decreased = w_after <= w_loss - EPS
         at_floor = w_after <= self.SSTHRESH_FLOOR + EPS
@@ -145,7 +147,7 @@ class TcpLawMonitor:
                         f"{w_after:.3f} (no decrease)")
 
     def on_window(self, sender, *, time: float, window: float,
-                  ssthresh: float, flight: int) -> None:
+                  ssthresh: float, flight: int, **extra) -> None:
         self.report.count("window-bounds")
         if not (_finite(window) and window > 0):
             self.report.violate("window-bounds", time, flow_id=sender.flow_id,

@@ -324,6 +324,7 @@ def _run_sweep(args) -> int:
         CampaignSpec,
         ResultStore,
         aggregate_campaign,
+        aggregate_timings,
         rows_as_json,
         run_campaign,
     )
@@ -382,7 +383,8 @@ def _run_sweep(args) -> int:
 
     result = run_campaign(tasks, jobs=args.jobs, store=store,
                           resume=args.resume, timeout=args.timeout,
-                          retries=args.retries, progress=progress)
+                          retries=args.retries, progress=progress,
+                          collect_timings=args.telemetry)
     rows = aggregate_campaign(result.tasks, result.outcomes)
     print(format_table(rows, title="campaign summary (mean over seeds, "
                                    "95% CI)"))
@@ -390,6 +392,22 @@ def _run_sweep(args) -> int:
     print(f"tasks: {stats.total}  executed: {stats.executed}  "
           f"cached: {stats.cached}  failed: "
           f"{stats.failed + stats.timeouts}  retries: {stats.retries}")
+    if args.telemetry:
+        rollup = aggregate_timings(result.outcomes)
+        if rollup is None:
+            print("telemetry: no task carried timings (all results were "
+                  "cached; use --fresh to re-measure)")
+        else:
+            print(f"telemetry: {rollup['tasks_with_timings']}/"
+                  f"{rollup['tasks']} tasks timed  "
+                  f"cache lookups: {stats.cache_lookup_seconds * 1e3:.1f}ms")
+            timing_rows = [
+                {"span": key, "mean_s": rollup["mean"][key],
+                 "total_s": rollup["total"][key],
+                 "max_s": rollup["max"][key]}
+                for key in rollup["mean"]
+            ]
+            print(format_table(timing_rows, title="per-task span timings"))
     if store is not None:
         print(f"cache '{args.cache_dir}': {store.hits} hits, "
               f"{store.misses} misses, {store.writes} writes")
@@ -398,6 +416,84 @@ def _run_sweep(args) -> int:
         Path(args.out).write_text(rows_as_json(rows))
         print(f"wrote aggregated rows to {args.out}")
     return 0 if result.all_ok else 1
+
+
+def _run_bench(args) -> int:
+    """``repro bench``: run the named benchmark suite, write a
+    schema-versioned ``BENCH_<label>.json``, optionally diff against a
+    baseline file.  With ``--compare BASELINE --against CURRENT`` no
+    benchmarks run — the two files are diffed directly.  ``--profile``
+    skips timing entirely and prints cProfile tables for the named hot
+    paths."""
+    from .obs import (
+        compare,
+        format_compare,
+        load_bench,
+        regressions,
+        run_bench,
+        write_bench,
+    )
+
+    if args.profile:
+        from .obs.profiler import profile_hotpaths
+        try:
+            profiles = profile_hotpaths(args.profile)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for name, rows in profiles.items():
+            print(format_table(rows, title=f"cProfile: {name} hot path"))
+        return 0
+
+    if args.compare and args.against:
+        try:
+            rows = compare(load_bench(args.compare), load_bench(args.against))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_compare(rows))
+        regs = regressions(rows)
+        if regs:
+            print(f"{len(regs)} regression(s) beyond tolerance",
+                  file=sys.stderr)
+            return 0 if args.warn_only else 1
+        return 0
+
+    mode = "full" if args.full else "quick"
+
+    def progress(result: dict) -> None:
+        print(f"  {result['name']:<28s} {result['seconds'] * 1e3:9.2f}ms "
+              f"(best of {result['repeats']})", file=sys.stderr)
+
+    try:
+        doc = run_bench(names=args.name or None, mode=mode, jobs=args.jobs,
+                        label=args.label, progress=progress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = write_bench(doc, path=args.out)
+    print(f"wrote {path} ({len(doc['benchmarks'])} benchmarks, mode={mode})")
+    for key, value in sorted(doc["derived"].items()):
+        print(f"  {key}: {value}")
+    rc = 0
+    if doc["failures"]:
+        for name, error in sorted(doc["failures"].items()):
+            print(f"benchmark {name} failed: {error}", file=sys.stderr)
+        rc = 1
+    if args.compare:
+        try:
+            rows = compare(load_bench(args.compare), doc)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_compare(rows))
+        regs = regressions(rows)
+        if regs:
+            print(f"{len(regs)} regression(s) beyond tolerance",
+                  file=sys.stderr)
+            if not args.warn_only:
+                rc = 1
+    return rc
 
 
 def _run_chaos(args) -> int:
@@ -647,6 +743,11 @@ def main(argv=None) -> int:
                      help="simulated seconds per run (default 60)")
     run.add_argument("--reps", type=int, default=2,
                      help="repetitions for averaged experiments")
+    run.add_argument("--telemetry", action="store_true",
+                     help="attach a telemetry session and write "
+                          "timeline/meter artifacts after the run")
+    run.add_argument("--telemetry-out", default=".", metavar="DIR",
+                     help="directory for --telemetry artifacts (default .)")
     run.add_argument("--seed", type=int, default=None,
                      help="override the experiment's paper-default seed")
 
@@ -726,6 +827,10 @@ def main(argv=None) -> int:
                        help="skip tasks already in the store (default)")
     sweep.add_argument("--fresh", dest="resume", action="store_false",
                        help="re-execute every task, ignoring stored results")
+    sweep.add_argument("--telemetry", action="store_true",
+                       help="collect per-task span timings (queue wait, "
+                            "trace generation, simulation run) and print "
+                            "the rollup")
     sweep.add_argument("--dry-run", action="store_true",
                        help="print the expanded grid and exit")
     sweep.add_argument("--out", default=None,
@@ -868,6 +973,37 @@ def main(argv=None) -> int:
                     choices=["mahimahi", "seconds", "csv"],
                     help="output format (default: by extension, mahimahi)")
 
+    bench = sub.add_parser(
+        "bench", help="performance benchmark suite (obs subsystem)")
+    bench_mode = bench.add_mutually_exclusive_group()
+    bench_mode.add_argument("--quick", action="store_true",
+                            help="small pinned workloads (default)")
+    bench_mode.add_argument("--full", action="store_true",
+                            help="full workloads with more repeats")
+    bench.add_argument("--name", action="append", default=None,
+                       metavar="BENCH",
+                       help="run only the named benchmark (repeatable; "
+                            "default all)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (timings then share cores)")
+    bench.add_argument("--label", default="local",
+                       help="label embedded in the BENCH_<label>.json name")
+    bench.add_argument("--out", default=None,
+                       help="output path (default BENCH_<label>.json in cwd)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff results against this BENCH file")
+    bench.add_argument("--against", default=None, metavar="CURRENT",
+                       help="with --compare: diff BASELINE against this "
+                            "file instead of running benchmarks")
+    bench.add_argument("--warn-only", action="store_true",
+                       help="report regressions without failing the exit "
+                            "code")
+    bench.add_argument("--profile", action="append", default=None,
+                       metavar="HOTPATH",
+                       help="cProfile a named hot path (engine, interp, "
+                            "channel, red_queue, contention) instead of "
+                            "benchmarking")
+
     trace = sub.add_parser("trace", help="generate a channel trace file")
     trace.add_argument("--scenario", default="city_driving")
     trace.add_argument("--technology", default="3g", choices=["3g", "lte"])
@@ -881,7 +1017,16 @@ def main(argv=None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        EXPERIMENTS[args.experiment](args)
+        if args.telemetry:
+            from .obs import TelemetrySession, telemetry, write_session
+            session = TelemetrySession()
+            with telemetry(session):
+                EXPERIMENTS[args.experiment](args)
+            for path in write_session(session, args.telemetry_out,
+                                      prefix=f"telemetry_{args.experiment}"):
+                print(f"wrote {path}")
+        else:
+            EXPERIMENTS[args.experiment](args)
         return 0
     if args.command == "quickstart":
         from . import quick_comparison
@@ -894,6 +1039,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "chaos":
         return _run_chaos(args)
     if args.command == "check":

@@ -470,7 +470,8 @@ class VerusSender(SenderProtocol):
             # re-base above may already have moved the live estimate).
             self.notify("on_setpoint", time=self.now,
                         d_est=self.window_estimator.d_est,
-                        d_min=d_min_used, d_max=est.d_max, window=w_next)
+                        d_min=d_min_used, d_max=est.d_max, window=w_next,
+                        delta_d=delta_d)
         self._send_credit += budget
         count = int(self._send_credit)
         self._send_credit -= count
@@ -540,6 +541,10 @@ class VerusSender(SenderProtocol):
             if self.config.record_diagnostics:
                 self.profile_snapshots.append(
                     (self.now, self.profiler.snapshot()))
+            if self.observers:
+                self.notify("on_profile_refit", time=self.now,
+                            points=len(self.profiler),
+                            interpolations=self.profiler.interpolations)
 
     def _check_transfer_complete(self) -> None:
         if (self.transfer_packets is None or self.completion_time is not None

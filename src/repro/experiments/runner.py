@@ -174,7 +174,17 @@ def _run_dumbbell(sim: Simulator, bottleneck, specs: Sequence[FlowSpec],
         bell.add_flow(sender, receiver, rtt=spec.rtt, start_at=spec.start_at)
         senders.append(sender)
         receivers.append(receiver)
+    # Telemetry seam: when a session is active (repro run/sweep
+    # --telemetry), attach timeline recorders to every flow.  The local
+    # import keeps repro.obs out of the hot import path, and the common
+    # no-session case costs one None check per experiment.
+    from ..obs.timeline import current_session
+    session = current_session()
+    if session is not None:
+        session.attach(sim, senders, specs=specs, receivers=receivers)
     sim.run(until=duration)
+    if session is not None:
+        session.finalize(sim)
     return ExperimentResult(list(specs), senders, receivers, duration, warmup)
 
 

@@ -175,8 +175,14 @@ class Simulator:
         return sum(1 for _, _, e in self._heap if not e.cancelled)
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or None if the heap is empty."""
-        for time, _, event in sorted(self._heap)[:16]:
+        """Time of the next live event, or None if the heap is empty.
+
+        Cancelled events linger in the heap until popped, so probe the
+        smallest few first (``nsmallest`` is O(n) vs a full sort's
+        O(n log n)) and only fall back to scanning everything when the
+        head of the heap is all corpses.
+        """
+        for time, _, event in heapq.nsmallest(16, self._heap):
             if not event.cancelled:
                 return time
         for time, _, event in sorted(self._heap):

@@ -103,13 +103,21 @@ class SenderProtocol:
 
         Observers are duck-typed: an observer interested in, say, loss
         events defines ``on_loss(sender, **fields)`` and ignores the
-        rest.  Exceptions propagate — a conformance monitor failing loudly
-        is the point.
+        rest.  An observer that wants *every* event raw (e.g. a timeline
+        recorder) defines ``record_event(sender, event, fields)``
+        instead and receives the packed fields dict directly — that path
+        skips a second kwargs pack/unpack and the per-event-name lookup,
+        roughly halving per-event cost on the epoch hot path.  Exceptions
+        propagate — a conformance monitor failing loudly is the point.
         """
         for observer in self.observers:
-            handler = getattr(observer, event, None)
-            if handler is not None:
-                handler(self, **fields)
+            sink = getattr(observer, "record_event", None)
+            if sink is not None:
+                sink(self, event, fields)
+            else:
+                handler = getattr(observer, event, None)
+                if handler is not None:
+                    handler(self, **fields)
 
     # -- protocol hooks --------------------------------------------------
     def start(self) -> None:
@@ -144,6 +152,10 @@ class ReceiverProtocol:
         self.bytes_received = 0
         self.deliveries: List[Tuple[float, int, float, int]] = []
         self.record = True
+        # Same observer seam as SenderProtocol, for receiver-side state
+        # worth a timeline (e.g. Sprout's forecaster belief).  Empty for
+        # normal runs; emit points guard on the list.
+        self.observers: List[Any] = []
 
     def attach(self, sim: Clock, tx: Transmit) -> None:
         self.sim = sim
@@ -154,6 +166,19 @@ class ReceiverProtocol:
         if self.sim is None:
             raise RuntimeError("receiver not attached")
         return self.sim.now
+
+    def notify(self, event: str, **fields: Any) -> None:
+        """Dispatch ``event`` to every observer that implements it (same
+        duck-typed contract as :meth:`SenderProtocol.notify`, including
+        the ``record_event`` raw fast path)."""
+        for observer in self.observers:
+            sink = getattr(observer, "record_event", None)
+            if sink is not None:
+                sink(self, event, fields)
+            else:
+                handler = getattr(observer, event, None)
+                if handler is not None:
+                    handler(self, **fields)
 
     def send_ack(self, ack: Packet) -> None:
         if self._tx is None:

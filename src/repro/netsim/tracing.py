@@ -103,6 +103,8 @@ class FlowTracer:
     def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self.taps: Dict[str, PacketTap] = {}
         self.clock = clock
+        self._sorted_cache: Optional[List[TapRecord]] = None
+        self._sorted_signature: Optional[tuple] = None
 
     def tap(self, point: str, dst: Optional[Destination] = None,
             clock: Optional[Callable[[], float]] = None,
@@ -145,9 +147,22 @@ class FlowTracer:
         return None
 
     def _sorted_records(self) -> List[TapRecord]:
-        return sorted(
+        """Time-ordered view over all taps, cached between appends.
+
+        Tap record lists are append-only, so (tap set, per-tap lengths)
+        identifies the content exactly; repeated exports and timeline
+        queries on a quiescent tracer skip the O(n log n) re-sort.
+        """
+        signature = tuple((name, len(tap.records))
+                          for name, tap in self.taps.items())
+        if self._sorted_cache is not None \
+                and signature == self._sorted_signature:
+            return self._sorted_cache
+        self._sorted_cache = sorted(
             (record for tap in self.taps.values() for record in tap.records),
             key=lambda r: (r.time, r.point))
+        self._sorted_signature = signature
+        return self._sorted_cache
 
     def export(self, path) -> int:
         """Write all records, time-ordered, to a text file.  Returns the

@@ -1,0 +1,232 @@
+"""Span timers and cProfile wrappers for the known hot paths.
+
+Two granularities:
+
+* :class:`Spans` — named wall-clock accumulators (`with spans.span("x")`)
+  cheap enough to leave in production paths; snapshots are JSON-safe and
+  mergeable, and the campaign executor uses them for per-task timings.
+* :func:`profile_call` / :func:`profile_hotpaths` — cProfile wrappers
+  that answer "where does simulator time actually go" for the paths
+  profiling has repeatedly implicated: the engine event loop, spline
+  fit/invert in :mod:`repro.interp`, the incremental
+  :class:`~repro.cellular.channel_model.ChannelStepper`, and RED queue
+  operations.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+SPANS_SCHEMA = "repro.spans/1"
+
+
+class Spans:
+    """Named wall-clock span accumulators.
+
+    Each span tracks total seconds, call count, and the maximum single
+    duration.  Timing uses :func:`time.perf_counter`; overhead is two
+    clock reads and a dict update per span, so spans can wrap whole
+    experiment phases without distorting them.
+    """
+
+    def __init__(self) -> None:
+        self._spans: Dict[str, List[float]] = {}   # name -> [seconds, calls, max]
+
+    @contextmanager
+    def span(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        entry = self._spans.get(name)
+        if entry is None:
+            self._spans[name] = [seconds, 1, seconds]
+        else:
+            entry[0] += seconds
+            entry[1] += 1
+            if seconds > entry[2]:
+                entry[2] = seconds
+
+    def time_call(self, name: str, fn: Callable[..., Any], *args: Any,
+                  **kwargs: Any) -> Any:
+        with self.span(name):
+            return fn(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def seconds(self, name: str) -> float:
+        entry = self._spans.get(name)
+        return entry[0] if entry else 0.0
+
+    def calls(self, name: str) -> int:
+        entry = self._spans.get(name)
+        return int(entry[1]) if entry else 0
+
+    def names(self) -> List[str]:
+        return sorted(self._spans)
+
+    def snapshot(self) -> dict:
+        return {
+            "schema": SPANS_SCHEMA,
+            "spans": {name: {"seconds": entry[0], "calls": int(entry[1]),
+                             "max_seconds": entry[2]}
+                      for name, entry in sorted(self._spans.items())},
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "Spans":
+        if payload.get("schema") != SPANS_SCHEMA:
+            raise ValueError(f"unsupported spans schema "
+                             f"{payload.get('schema')!r}")
+        spans = cls()
+        for name, body in payload.get("spans", {}).items():
+            spans._spans[name] = [float(body["seconds"]), int(body["calls"]),
+                                  float(body["max_seconds"])]
+        return spans
+
+    def merge(self, other: "Spans") -> "Spans":
+        for name, entry in other._spans.items():
+            mine = self._spans.get(name)
+            if mine is None:
+                self._spans[name] = list(entry)
+            else:
+                mine[0] += entry[0]
+                mine[1] += entry[1]
+                mine[2] = max(mine[2], entry[2])
+        return self
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, top: int = 20,
+                 sort: str = "cumulative",
+                 **kwargs: Any) -> Tuple[Any, List[dict]]:
+    """Run ``fn`` under cProfile; return (result, top-N stat rows).
+
+    Rows are JSON-safe dicts sorted by ``sort`` (a pstats sort key:
+    ``cumulative``, ``tottime``, ...), ready for :func:`format_table`
+    or a report file.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(sort)
+    rows: List[dict] = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        short = filename.rsplit("/", 1)[-1]
+        rows.append({
+            "function": f"{short}:{lineno}({name})",
+            "ncalls": int(nc),
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    key = "cumtime_s" if sort == "cumulative" else "tottime_s"
+    rows.sort(key=lambda r: r[key], reverse=True)
+    return result, rows[:top]
+
+
+# ----------------------------------------------------------------------
+# Canned hot-path profiles
+# ----------------------------------------------------------------------
+def _hotpath_engine() -> int:
+    from ..netsim import Simulator
+    sim = Simulator()
+    counter = [0]
+
+    def tick() -> None:
+        counter[0] += 1
+
+    for i in range(50_000):
+        sim.schedule(i * 1e-6, tick)
+    sim.run()
+    return counter[0]
+
+
+def _hotpath_interp() -> float:
+    import numpy as np
+
+    from ..interp import InverseLookup, PchipInterpolator
+    rng = np.random.default_rng(7)
+    x = np.sort(rng.choice(np.arange(1, 2000), size=256, replace=False))
+    y = np.cumsum(rng.random(256)) * 0.001 + 0.02
+    total = 0.0
+    for _ in range(40):
+        spline = PchipInterpolator(x.astype(float), y)
+        lookup = InverseLookup(spline)
+        for target in (0.03, 0.08, 0.15, 0.4):
+            total += lookup.largest_below(target)
+    return total
+
+
+def _hotpath_channel() -> int:
+    import numpy as np
+
+    from ..cellular import CellularChannelModel, ChannelParams
+    model = CellularChannelModel(ChannelParams(mean_rate_bps=10e6),
+                                 rng=np.random.default_rng(11))
+    stepper = model.stepper()
+    count = 0
+    for _ in range(100):
+        count += stepper.advance(0.1).size
+    return count
+
+
+def _hotpath_red_queue() -> int:
+    import numpy as np
+
+    from ..netsim import Packet, REDQueue
+    rng = np.random.default_rng(3)
+    queue = REDQueue(min_th_bytes=2_000_000, max_th_bytes=6_000_000, rng=rng)
+    accepted = 0
+    for i in range(20_000):
+        if queue.push(Packet(flow_id=0, seq=i), i * 1e-4):
+            accepted += 1
+        if i % 3 == 0:
+            queue.pop(i * 1e-4)
+    return accepted
+
+
+def _hotpath_contention() -> int:
+    import numpy as np
+
+    from ..cellular import generate_scenario_trace
+    from ..experiments.runner import repeat_flows, run_trace_contention
+    trace = generate_scenario_trace("campus_stationary", duration=4.0,
+                                    technology="3g", seed=5)
+    result = run_trace_contention(trace, repeat_flows("verus", 2, r=2.0),
+                                  duration=4.0, warmup=1.0, seed=5)
+    return sum(r.packets_received for r in result.receivers)
+
+
+HOTPATHS: Dict[str, Callable[[], Any]] = {
+    "engine": _hotpath_engine,
+    "interp": _hotpath_interp,
+    "channel": _hotpath_channel,
+    "red_queue": _hotpath_red_queue,
+    "contention": _hotpath_contention,
+}
+
+
+def profile_hotpaths(names: Optional[List[str]] = None,
+                     top: int = 15) -> Dict[str, List[dict]]:
+    """cProfile each named hot path; returns name -> top stat rows."""
+    selected = list(HOTPATHS) if names is None else names
+    out: Dict[str, List[dict]] = {}
+    for name in selected:
+        if name not in HOTPATHS:
+            raise ValueError(f"unknown hot path {name!r}; "
+                             f"choose from {sorted(HOTPATHS)}")
+        _, rows = profile_call(HOTPATHS[name], top=top)
+        out[name] = rows
+    return out

@@ -78,6 +78,13 @@ class SproutReceiver(ReceiverProtocol):
                 # the link.  Widen uncertainty without observing.
                 self.forecaster.belief.evolve()
                 self._budget = self.forecaster.cautious_budget()
+        if self.observers:
+            belief = self.forecaster.belief
+            self.notify("on_belief", time=self.now, budget=self._budget,
+                        arrivals=self._tick_arrivals,
+                        belief_mean=belief.mean(),
+                        belief_p05=belief.quantile(0.05),
+                        ticks=self.forecaster.ticks_processed)
         self._tick_arrivals = 0
         self._tick_min_delay = None
         # Heartbeat feedback so the sender unfreezes after idle periods.
@@ -147,6 +154,9 @@ class SproutSender(SenderProtocol):
         if not self.running:
             return
         inflight = self._inflight()
+        if self.observers:
+            self.notify("on_tick", time=self.now, budget=self.budget,
+                        inflight=inflight, srtt=self.srtt)
         allowance = int(round(self.budget)) - inflight
         if allowance <= 0 and inflight < max(2.0, self.budget + 1.0):
             # Probe floor: the channel can only be measured while packets
