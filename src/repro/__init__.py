@@ -57,7 +57,7 @@ from . import (
 from .core import VerusConfig, VerusReceiver, VerusSender
 from .experiments import FlowSpec, repeat_flows, run_trace_contention
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FlowSpec",

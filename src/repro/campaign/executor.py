@@ -24,6 +24,13 @@ Failure semantics
   measured from submission.  A timed-out future is abandoned (its late
   result, if any, is discarded) and the cell is marked ``timeout``
   without retry — a deterministic hang would only burn workers again.
+* **Supervised kill** — a ``supervisor`` (e.g. the resilience
+  subsystem's :class:`~repro.resilience.watchdog.WorkerWatchdog`) may
+  SIGKILL a hung or over-budget worker.  That breaks the pool like any
+  worker death, but the supervisor *attributes* the kill: only the
+  offending task consumes an attempt (with capped exponential backoff
+  before requeue, or its kill reason as the final error); innocent
+  in-flight siblings are requeued without burning a retry.
 """
 
 from __future__ import annotations
@@ -44,6 +51,10 @@ from .spec import CampaignSpec, TaskSpec, run_simulation_task
 from .store import ResultStore
 
 ProgressFn = Callable[["TaskOutcome", int, int], None]
+
+#: Ceiling on the backoff applied before requeueing a task whose worker
+#: the supervisor shot (hang / RSS breach).
+KILL_BACKOFF_CAP = 2.0
 
 
 @dataclass
@@ -107,7 +118,8 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
               store: Optional[ResultStore] = None,
               keys: Optional[Sequence[Optional[str]]] = None,
               resume: bool = True,
-              progress: Optional[ProgressFn] = None) -> RunResult:
+              progress: Optional[ProgressFn] = None,
+              supervisor: Optional[Any] = None) -> RunResult:
     """Run ``task_fn`` over ``payloads`` and return per-task outcomes.
 
     ``task_fn`` must be a module-level callable (picklable) when
@@ -115,6 +127,14 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
     is already stored are returned as ``cached`` without executing
     (unless ``resume`` is False), and fresh successes are persisted —
     their results must then be JSON-serializable.
+
+    ``supervisor`` (pooled mode only) is a duck-typed worker watchdog:
+    ``wrap(index, attempts, payload)`` is called at submission and may
+    return an augmented payload, ``poll()`` runs once per engine loop
+    iteration and may kill misbehaving workers, ``take_kills()`` returns
+    ``{index: reason}`` for kills since the last call (consumed when the
+    pool breaks, to attribute the break), and ``release(index)`` is
+    called whenever a task leaves flight.
     """
     n = len(payloads)
     if keys is None:
@@ -127,6 +147,11 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
 
     def finish(outcome: TaskOutcome) -> None:
         nonlocal done_count
+        if outcomes[outcome.index] is not None:
+            raise RuntimeError(
+                f"task {outcome.index} finished twice "
+                f"({outcomes[outcome.index].status} then {outcome.status}) — "
+                f"executor accounting bug")
         outcomes[outcome.index] = outcome
         done_count += 1
         if outcome.status == "cached":
@@ -174,7 +199,7 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
                     stats, finish)
     else:
         _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
-                  backoff, stats, finish)
+                  backoff, stats, finish, supervisor)
     return RunResult([o for o in outcomes if o is not None], stats)
 
 
@@ -201,23 +226,37 @@ def _run_serial(pending, payloads, keys, task_fn, retries, backoff,
 
 
 def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
-              backoff, stats, finish) -> None:
+              backoff, stats, finish, supervisor=None) -> None:
     pool = ProcessPoolExecutor(max_workers=jobs)
     inflight: Dict[Any, _InFlight] = {}
     abandoned = 0   # timed-out futures whose workers are still busy
     freed: deque = deque()   # signalled (thread-safe) when one finishes late
+    # Pool generation, stamped on every abandoned future's done-callback.
+    # A rebuild discards the abandoned workers along with the old pool, so
+    # a *stale* callback (an old-pool worker finally returning) must not
+    # decrement the new pool's abandoned count — that would over-submit
+    # and mark cells timed out that never got a worker.
+    generation = 0
+
+    def release(index: int) -> None:
+        if supervisor is not None:
+            supervisor.release(index)
+
     try:
         while pending or inflight:
             while freed:
-                freed.popleft()
-                abandoned = max(0, abandoned - 1)
+                if freed.popleft() == generation:
+                    abandoned = max(0, abandoned - 1)
             # In-flight is capped at the worker count (minus any workers
             # still burning on abandoned tasks), so a submitted task
             # starts at once and its deadline runs from submission.
             while pending and len(inflight) + abandoned < jobs:
                 index, attempts = pending.popleft()
                 now = time.monotonic()
-                future = pool.submit(task_fn, payloads[index])
+                payload = payloads[index]
+                if supervisor is not None:
+                    payload = supervisor.wrap(index, attempts, payload)
+                future = pool.submit(task_fn, payload)
                 inflight[future] = _InFlight(
                     index=index, attempts=attempts, submitted=now,
                     deadline=None if timeout is None else now + timeout)
@@ -226,9 +265,47 @@ def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
                 # until one frees up rather than busy-spinning.
                 time.sleep(0.02)
                 continue
+            if supervisor is not None:
+                supervisor.poll()
             done, _ = wait(list(inflight), timeout=0.05,
                            return_when=FIRST_COMPLETED)
             pool_broken = False
+            # Kill attribution is consumed lazily, once per loop pass, and
+            # only on the pool-broken paths — reasons stay queued in the
+            # supervisor until the break they caused is actually observed.
+            kills: Optional[Dict[int, str]] = None
+
+            def attributed_kills() -> Dict[int, str]:
+                nonlocal kills
+                if kills is None:
+                    kills = (supervisor.take_kills()
+                             if supervisor is not None else {})
+                return kills
+
+            def casualty(info: _InFlight, elapsed: float) -> None:
+                """One in-flight task lost to a broken pool."""
+                release(info.index)
+                blame = attributed_kills()
+                if info.index in blame:
+                    # The supervisor shot this task's worker: it alone
+                    # consumes an attempt, with capped backoff.
+                    if info.attempts < retries:
+                        stats.retries += 1
+                        time.sleep(min(backoff * (2 ** info.attempts),
+                                       KILL_BACKOFF_CAP))
+                        pending.append((info.index, info.attempts + 1))
+                    else:
+                        finish(TaskOutcome(
+                            index=info.index, key=keys[info.index],
+                            status="failed", error=blame[info.index],
+                            attempts=info.attempts + 1, seconds=elapsed))
+                elif blame:
+                    # Attributed break, innocent sibling: requeue free.
+                    pending.append((info.index, info.attempts))
+                else:
+                    _requeue_or_fail(info, pending, keys, retries, stats,
+                                     finish, elapsed, "worker process died")
+
             for future in done:
                 info = inflight.pop(future)
                 elapsed = time.monotonic() - info.submitted
@@ -236,14 +313,15 @@ def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
                     result = future.result()
                 except BrokenProcessPool:
                     pool_broken = True
-                    _requeue_or_fail(info, pending, keys, retries, stats,
-                                     finish, elapsed, "worker process died")
+                    casualty(info, elapsed)
                 except CancelledError:
                     # Only reachable when a breaking pool cancelled queued
                     # siblings; treat like any other casualty.
+                    release(info.index)
                     _requeue_or_fail(info, pending, keys, retries, stats,
                                      finish, elapsed, "cancelled by pool")
                 except Exception as exc:
+                    release(info.index)
                     if info.attempts < retries:
                         stats.retries += 1
                         time.sleep(backoff * (info.attempts + 1))
@@ -254,20 +332,21 @@ def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
                             status="failed", error=repr(exc),
                             attempts=info.attempts + 1, seconds=elapsed))
                 else:
+                    release(info.index)
                     finish(TaskOutcome(
                         index=info.index, key=keys[info.index], status="ok",
                         result=result, attempts=info.attempts + 1,
                         seconds=elapsed))
             if pool_broken:
                 # Every sibling in flight is poisoned too: requeue them
-                # (consuming an attempt — one of them is the killer) and
-                # rebuild the pool.
+                # (the attributed offender — or, unattributed, each one,
+                # since any could be the killer — consumes an attempt)
+                # and rebuild the pool.
                 for future, info in list(inflight.items()):
-                    _requeue_or_fail(info, pending, keys, retries, stats,
-                                     finish, time.monotonic() - info.submitted,
-                                     "worker process died")
+                    casualty(info, time.monotonic() - info.submitted)
                 inflight.clear()
                 abandoned = 0
+                generation += 1
                 stats.pool_restarts += 1
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = ProcessPoolExecutor(max_workers=jobs)
@@ -282,8 +361,10 @@ def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
                         # result is discarded with the future.
                         del inflight[future]
                         abandoned += 1
+                        release(info.index)
                         future.add_done_callback(
-                            lambda f, q=freed: (_noteless(f), q.append(1)))
+                            lambda f, q=freed, g=generation:
+                                (_noteless(f), q.append(g)))
                         finish(TaskOutcome(
                             index=info.index, key=keys[info.index],
                             status="timeout",

@@ -718,6 +718,96 @@ def _run_corpus(args) -> int:
     return 2
 
 
+def _run_soak(args) -> int:
+    """``repro soak``: budgeted endurance runs over randomized (but
+    seed-reproducible) protocol × fault × channel cells, supervised by
+    worker watchdogs, with crash bundles, quarantine and triage."""
+    from .resilience import SoakReport, SoakSpec, load_ledger
+    from .resilience.soak import replay_cell, run_soak
+
+    inject = {}
+    for item in args.inject or []:
+        try:
+            mode, _, draw = item.partition("@")
+            inject[int(draw)] = {"mode": mode}
+        except ValueError:
+            print(f"error: --inject wants MODE@DRAW, got {item!r}",
+                  file=sys.stderr)
+            return 2
+    try:
+        spec = SoakSpec(
+            seed=args.seed,
+            budget_cells=args.budget_cells,
+            budget_seconds=args.budget_seconds,
+            protocols=args.protocol or SoakSpec.protocols,
+            faults=args.fault or SoakSpec.faults,
+            scenarios=args.scenario or SoakSpec.scenarios,
+            corpus=args.corpus,
+            duration=args.duration,
+            flows=args.flows,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            stall_after=args.stall_after,
+            rss_limit_mb=args.rss_mb,
+            state_dir=args.state_dir,
+            inject=inject,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.report:
+        records = load_ledger(spec.state_dir)
+        if not records:
+            print(f"no soak ledger under {spec.state_dir}", file=sys.stderr)
+            return 2
+        report = SoakReport(records)
+        print(report.render())
+        return 0 if report.ok else 1
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    if args.replay:
+        try:
+            record = replay_cell(spec, args.replay)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"replay {args.replay}: {record.kind} "
+              f"(status {record.status}, attempts {record.attempts})")
+        if record.error:
+            print(f"  error: {record.error}")
+        if record.bundle:
+            print(f"  bundle: {record.bundle}")
+        return 0 if record.kind in ("ok", "flaky") else 1
+
+    def progress(outcome, done, total) -> None:
+        note = outcome.status
+        if outcome.error:
+            note += f": {outcome.error}"
+        print(f"  [{done}/{total}] cell {outcome.index} {note} "
+              f"({outcome.seconds:.1f}s)", file=sys.stderr)
+
+    result = run_soak(spec, fresh=args.fresh,
+                      progress=progress if args.verbose else None, log=log)
+    report = result.report
+    print(report.render())
+    print(f"draws: {result.draws}  quarantined-skips: {result.skipped}  "
+          f"executed: {result.stats['executed']}  "
+          f"cached: {result.stats['cached']}  "
+          f"retries: {result.stats['retries']}  "
+          f"pool-restarts: {result.stats['pool_restarts']}")
+    print(f"scenario draw {result.digest}")
+    if report.ok:
+        print("soak: OK (nothing worse than flakiness)")
+        return 0
+    print("soak: FAIL — non-flaky failure signatures present",
+          file=sys.stderr)
+    return 1
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": _run_fig1, "fig2": _run_fig2, "fig3": _run_fig3,
     "fig4": _run_fig4, "fig5": _run_fig5, "fig7": _run_fig7,
@@ -1004,6 +1094,64 @@ def main(argv=None) -> int:
                             "channel, red_queue, contention) instead of "
                             "benchmarking")
 
+    soak = sub.add_parser(
+        "soak", help="budgeted endurance harness: randomized (seed-"
+                     "reproducible) cells under worker watchdogs, with "
+                     "crash bundles, quarantine and failure triage")
+    soak.add_argument("--budget-cells", type=int, default=50,
+                      help="stop after drawing this many cells (default 50)")
+    soak.add_argument("--budget-seconds", type=float, default=None,
+                      help="stop after this much wall-clock time")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="base seed; draw i is a pure function of "
+                           "(seed, i) (default 0)")
+    soak.add_argument("--protocol", action="append", default=None,
+                      help="protocol axis entry; repeat for several "
+                           "(default: verus, sprout, cubic, newreno)")
+    soak.add_argument("--fault", action="append", default=None,
+                      help="fault-preset axis entry; repeat for several "
+                           "(default: every preset)")
+    soak.add_argument("--scenario", action="append", default=None,
+                      help="synth scenario axis entry; repeat for several "
+                           "(default: all seven paper scenarios)")
+    soak.add_argument("--corpus", default=None, metavar="DIR",
+                      help="draw the channel axis from a trace corpus "
+                           "instead of synth scenarios")
+    soak.add_argument("--duration", type=float, default=4.0,
+                      help="simulated seconds per cell (default 4)")
+    soak.add_argument("--flows", type=int, default=1)
+    soak.add_argument("--jobs", type=int, default=2,
+                      help="worker processes (default 2; the watchdog "
+                           "needs a pool to preempt)")
+    soak.add_argument("--timeout", type=float, default=60.0,
+                      help="hard per-cell wall deadline (default 60)")
+    soak.add_argument("--retries", type=int, default=1)
+    soak.add_argument("--stall-after", type=float, default=2.0,
+                      help="kill a worker whose heartbeat goes stale for "
+                           "this long (default 2)")
+    soak.add_argument("--rss-mb", type=int, default=1024,
+                      help="kill a worker whose RSS exceeds this budget "
+                           "(default 1024; 0 disables)")
+    soak.add_argument("--state-dir", default=".repro-soak",
+                      help="ledger/quarantine/bundle directory "
+                           "(default .repro-soak)")
+    soak.add_argument("--fresh", action="store_true",
+                      help="clear the ledger and the quarantine poison "
+                           "list before running")
+    soak.add_argument("--inject", action="append", default=None,
+                      metavar="MODE@DRAW",
+                      help="inject a failure (crash|hang|oom) at a draw "
+                           "index, e.g. --inject hang@0 (test hook; "
+                           "repeatable)")
+    soak.add_argument("--report", action="store_true",
+                      help="render the triage report from the ledger and "
+                           "exit (non-zero on any non-flaky signature)")
+    soak.add_argument("--replay", default=None, metavar="KEY",
+                      help="re-run one recorded cell by key prefix under "
+                           "full supervision")
+    soak.add_argument("--verbose", action="store_true",
+                      help="per-cell progress on stderr")
+
     trace = sub.add_parser("trace", help="generate a channel trace file")
     trace.add_argument("--scenario", default="city_driving")
     trace.add_argument("--technology", default="3g", choices=["3g", "lte"])
@@ -1047,6 +1195,10 @@ def main(argv=None) -> int:
         return _run_check(args)
     if args.command == "corpus":
         return _run_corpus(args)
+    if args.command == "soak":
+        if args.rss_mb is not None and args.rss_mb <= 0:
+            args.rss_mb = None
+        return _run_soak(args)
     if args.command == "report":
         from .experiments.full_report import generate_report
         text = generate_report(duration=args.duration, items=args.items,

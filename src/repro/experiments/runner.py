@@ -113,6 +113,10 @@ class ExperimentResult:
     #: from a degraded result cover only the time actually run.
     degraded: bool = False
     degraded_reason: Optional[str] = None
+    #: Structured code from the resilience taxonomy ("hang", "degraded",
+    #: ...) alongside the human-readable reason string above, so triage
+    #: does not have to parse prose.
+    degraded_code: Optional[str] = None
 
     def deliveries(self, flow_id: int):
         return self.receivers[flow_id].deliveries
@@ -147,6 +151,7 @@ class ExperimentResult:
             "warmup": float(self.warmup),
             "degraded": bool(self.degraded),
             "degraded_reason": self.degraded_reason,
+            "degraded_code": self.degraded_code,
             "flows": [
                 {
                     "protocol": spec.protocol,

@@ -227,6 +227,7 @@ def run_chaos_task(payload: dict) -> dict:
         "recovered": all(r.recovered for r in recovery),
         "degraded": bool(result.degraded),
         "degraded_reason": result.degraded_reason,
+        "degraded_code": getattr(result, "degraded_code", None),
     }
 
 

@@ -78,7 +78,15 @@ def run_faulted_contention(trace: np.ndarray, specs: Sequence[FlowSpec],
         senders.append(sender)
         receivers.append(receiver)
 
+    # Telemetry seam, as in the plain runner: an active session (e.g. the
+    # soak harness's armed flight recorder) observes every flow.
+    from ..obs.timeline import current_session
+    session = current_session()
+    if session is not None:
+        session.attach(sim, senders, specs=specs, receivers=receivers)
     sim.run(until=duration)
+    if session is not None:
+        session.finalize(sim)
 
     result = ExperimentResult(list(specs), senders, receivers,
                               duration, warmup)
@@ -90,6 +98,7 @@ def run_faulted_contention(trace: np.ndarray, specs: Sequence[FlowSpec],
                      for r in receivers)
         if not healed:
             result.degraded = True
+            result.degraded_code = "degraded"
             result.degraded_reason = ("no downlink delivery after the "
                                       f"blackout ended at t={dark_until:g}s")
     return result

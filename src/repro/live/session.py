@@ -163,10 +163,14 @@ async def _session(specs, trace, stepper, duration, downlink_delay,
 
     stop = asyncio.Event()
     degraded_reason: Optional[str] = None
+    degraded_code: Optional[str] = None
 
     def on_stall(event) -> None:
-        nonlocal degraded_reason
+        nonlocal degraded_reason, degraded_code
         if event.fatal and not stop.is_set():
+            # Structured code from the resilience taxonomy (a dead peer
+            # is a hang as seen from this side) + the human message.
+            degraded_code = "hang"
             degraded_reason = (
                 f"flow {event.flow_id} heard no ACK for "
                 f"{event.silence:.2f}s (fatal threshold "
@@ -218,7 +222,8 @@ async def _session(specs, trace, stepper, duration, downlink_delay,
 
     result = ExperimentResult(specs, senders, receivers, ended_at, warmup,
                               degraded=stop.is_set(),
-                              degraded_reason=degraded_reason)
+                              degraded_reason=degraded_reason,
+                              degraded_code=degraded_code)
     result.emulator_stats = emulator.stats
     result.wall_clock = clock
     result.live_counters = {

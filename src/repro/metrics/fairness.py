@@ -25,10 +25,17 @@ def jain_index(throughputs: Sequence[float]) -> float:
         raise ValueError("need at least one throughput value")
     if np.any(x < 0):
         raise ValueError("throughputs must be non-negative")
-    denom = x.size * float(np.sum(x * x))
-    if denom == 0:
+    peak = float(x.max())
+    if peak == 0:
         return 1.0
-    return float(np.sum(x)) ** 2 / denom
+    # The index is scale-invariant, so normalise by the peak first:
+    # subnormal inputs (~1e-159) would otherwise underflow the squares
+    # and round the ratio just past 1.  Clamp the last ulp of rounding
+    # noise into the mathematical [1/n, 1] range.
+    x = x / peak
+    denom = x.size * float(np.sum(x * x))
+    index = float(np.sum(x)) ** 2 / denom
+    return min(1.0, max(1.0 / x.size, index))
 
 
 def windowed_jain_index(per_flow_deliveries: Dict[int, Sequence[Delivery]],

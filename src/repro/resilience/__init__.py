@@ -1,0 +1,52 @@
+"""Resilience subsystem: soak harness, watchdogs, flight recorder, triage.
+
+The endurance layer over the campaign engine — see ARCHITECTURE.md §12.
+:mod:`.soak` draws SeedSequence-reproducible scenario cells and runs
+them under :mod:`.watchdog` supervision; :mod:`.blackbox` records crash
+bundles; :mod:`.triage` classifies and deduplicates what went wrong.
+"""
+
+from .blackbox import (
+    BUNDLE_SCHEMA,
+    ArmedSession,
+    bundle_hash,
+    dump_bundle,
+    load_bundle,
+    normalize_traceback,
+)
+from .soak import (
+    SoakAxes,
+    SoakResult,
+    SoakSpec,
+    build_axes,
+    cell_key,
+    draw_cell,
+    draw_digest,
+    find_cell,
+    load_ledger,
+    replay_cell,
+    run_soak,
+    run_soak_cell,
+)
+from .triage import (
+    FAILURE_KINDS,
+    POISON_KINDS,
+    FailureSignature,
+    SoakRecord,
+    SoakReport,
+    classify,
+    failure_detail,
+    normalize_error,
+    signature_of,
+)
+from .watchdog import Heartbeat, Quarantine, WorkerWatchdog
+
+__all__ = [
+    "ArmedSession", "BUNDLE_SCHEMA", "FAILURE_KINDS", "FailureSignature",
+    "Heartbeat", "POISON_KINDS", "Quarantine", "SoakAxes", "SoakRecord",
+    "SoakReport", "SoakResult", "SoakSpec", "WorkerWatchdog",
+    "build_axes", "bundle_hash", "cell_key", "classify", "draw_cell",
+    "draw_digest", "dump_bundle", "failure_detail", "find_cell",
+    "load_bundle", "load_ledger", "normalize_error", "normalize_traceback",
+    "replay_cell", "run_soak", "run_soak_cell", "signature_of",
+]

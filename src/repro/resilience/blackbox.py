@@ -1,0 +1,190 @@
+"""Flight recorder: armed telemetry + content-addressed crash bundles.
+
+:class:`ArmedSession` extends the obs :class:`TelemetrySession` the way
+a cockpit recorder extends a dashboard: besides the bounded
+:class:`~repro.obs.timeline.TimelineRecorder` ring and the
+:class:`~repro.obs.meters.MeterRegistry`, every attach also wires the
+conformance law monitors (:mod:`repro.check.monitors`) into a shared
+:class:`~repro.check.report.InvariantReport` — so a soak cell that
+*completes* but violates eq. 4/6 is still a recorded failure.
+
+When a cell dies, times out, or trips a monitor, :func:`dump_bundle`
+writes a crash bundle: the last-N timeline events as JSONL, the task
+payload, seed, normalised traceback, meter snapshot and environment.
+Bundles are content-addressed over the *identity* of the failure
+(schema, kind, signature, task, seed) — canonical JSON, SHA-256 — so
+re-running the same seeded failure lands on the same bundle directory
+instead of piling up duplicates, and CI can assert the hash is
+bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+import tempfile
+import traceback as traceback_module
+from pathlib import Path
+from typing import Any, List, Optional, Sequence
+
+from ..campaign.spec import _canonical_json
+from ..check.monitors import (
+    MonotoneClockMonitor,
+    TcpLawMonitor,
+    VerusLawMonitor,
+)
+from ..check.report import InvariantReport
+from ..obs.export import export_timeline_jsonl
+from ..obs.timeline import TelemetrySession
+
+BUNDLE_SCHEMA = "repro.crash-bundle/1"
+
+#: Timeline events retained in a bundle (the tail of the ring).
+BUNDLE_EVENTS = 512
+
+
+class ArmedSession(TelemetrySession):
+    """A telemetry session with the invariant monitors armed.
+
+    Drop-in for :func:`repro.obs.timeline.telemetry`: the experiment
+    runners only see the ``attach``/``finalize`` contract, so arming is
+    invisible to them.  Each attached sender additionally gets the law
+    monitor matching its protocol family (the
+    :func:`repro.check.scenarios.run_audited` pairing), and the
+    simulator gets a monotone-clock monitor.
+    """
+
+    def __init__(self, timeline_capacity: int = BUNDLE_EVENTS,
+                 report: Optional[InvariantReport] = None):
+        super().__init__(timeline_capacity=timeline_capacity)
+        self.report = report if report is not None else InvariantReport()
+
+    def attach(self, sim, senders: Sequence[Any],
+               specs: Optional[Sequence[Any]] = None,
+               receivers: Sequence[Any] = ()) -> None:
+        super().attach(sim, senders, specs, receivers)
+        from ..core.sender import VerusSender
+        from ..tcp.base import TcpSender
+        for sender in senders:
+            if isinstance(sender, VerusSender):
+                sender.observers.append(VerusLawMonitor(self.report))
+            elif isinstance(sender, TcpSender):
+                sender.observers.append(TcpLawMonitor(self.report))
+        sim.add_monitor(MonotoneClockMonitor(self.report))
+
+    def tail_rows(self, limit: int = BUNDLE_EVENTS) -> List[dict]:
+        """The most recent ``limit`` timeline rows, time-ordered."""
+        rows = self.rows()
+        return rows[-limit:] if limit else rows
+
+
+def normalize_traceback(exc: BaseException) -> List[str]:
+    """Traceback frames as stable ``basename:lineno:funcname`` strings.
+
+    Absolute paths differ between machines and checkouts; basenames and
+    line numbers identify the failure just as well and keep bundle
+    signatures portable.
+    """
+    frames = traceback_module.extract_tb(exc.__traceback__)
+    out = [f"{Path(f.filename).name}:{f.lineno}:{f.name}" for f in frames]
+    out.append(f"{type(exc).__name__}: {exc}")
+    return out
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "pid": os.getpid(),
+    }
+
+
+def bundle_hash(kind: str, signature: str, task: Any,
+                seed: Optional[int]) -> str:
+    """The bundle's content address: the *identity* of the failure only,
+    so volatile payload (timestamps, pids, local paths) never shifts it."""
+    body = _canonical_json({
+        "schema": BUNDLE_SCHEMA,
+        "kind": kind,
+        "signature": signature,
+        "task": task,
+        "seed": seed,
+    })
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def _write_atomic(path: Path, body: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".bundle-",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(body)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def dump_bundle(directory: os.PathLike, *, kind: str, signature: str,
+                task: Any, seed: Optional[int] = None,
+                error: Optional[str] = None,
+                frames: Optional[List[str]] = None,
+                invariant: Optional[dict] = None,
+                session: Optional[TelemetrySession] = None,
+                timeline_rows: Optional[Sequence[dict]] = None,
+                repro: Optional[str] = None) -> str:
+    """Write one crash bundle; return its directory path.
+
+    Idempotent per failure identity: if the content-addressed directory
+    already exists (same kind/signature/task/seed seen before, possibly
+    in a previous run) the existing bundle is kept untouched.
+    """
+    digest = bundle_hash(kind, signature, task, seed)
+    root = Path(directory)
+    bundle_dir = root / digest[:12]
+    if (bundle_dir / "bundle.json").exists():
+        return str(bundle_dir)
+    bundle_dir.mkdir(parents=True, exist_ok=True)
+
+    rows: Sequence[dict] = ()
+    meters = None
+    if timeline_rows is not None:
+        rows = list(timeline_rows)[-BUNDLE_EVENTS:]
+    elif session is not None:
+        rows = (session.tail_rows() if isinstance(session, ArmedSession)
+                else session.rows()[-BUNDLE_EVENTS:])
+    if session is not None:
+        meters = session.registry.snapshot()
+
+    export_timeline_jsonl(rows, bundle_dir / "timeline.jsonl")
+    body = {
+        "schema": BUNDLE_SCHEMA,
+        "hash": digest,
+        "kind": kind,
+        "signature": signature,
+        "task": task,
+        "seed": seed,
+        "error": error,
+        "traceback": frames or [],
+        "invariant": invariant,
+        "meters": meters,
+        "timeline_events": len(rows),
+        "repro": repro,
+        "env": _environment(),
+    }
+    _write_atomic(bundle_dir / "bundle.json",
+                  json.dumps(body, indent=1, sort_keys=True) + "\n")
+    return str(bundle_dir)
+
+
+def load_bundle(bundle_dir: os.PathLike) -> dict:
+    with (Path(bundle_dir) / "bundle.json").open(
+            "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,223 @@
+"""Failure triage: a small error taxonomy and the deduplicated SoakReport.
+
+Every soak cell ends in exactly one *kind*:
+
+=============  ========================================================
+``ok``         ran to completion, no retries, no monitor fired
+``flaky``      failed at least one attempt but ultimately succeeded
+``crash``      raised (or killed its worker) until retries ran out
+``hang``       stopped making progress — either the executor's wall
+               deadline fired or the watchdog saw heartbeats go stale
+``oom``        the watchdog killed the worker for breaching its RSS
+               budget
+``invariant``  the run completed but a :mod:`repro.check.monitors`
+               invariant monitor fired
+``degraded``   the session tore itself down early (dead peer, blackout
+               that never healed) and returned a partial result
+=============  ========================================================
+
+Failures deduplicate into :class:`FailureSignature` groups keyed by a
+normalised traceback / invariant / watchdog-reason digest, so a crasher
+that fires on forty cells is one report line with one reproduction
+command, not forty.  :class:`SoakReport` renders the groups and decides
+the exit code: any signature other than ``flaky`` is a real finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: The taxonomy, in severity order (worst first).
+FAILURE_KINDS = ("crash", "hang", "oom", "invariant", "degraded", "flaky")
+
+#: Kinds that indicate the *cell itself* could not execute and should be
+#: quarantined once retries are exhausted (a monitor firing or a degraded
+#: session is a finding about the system under test, not a poison task).
+POISON_KINDS = ("crash", "hang", "oom")
+
+#: Watchdog kill reasons are prefixed with their kind so the executor can
+#: carry them through its generic ``error`` string.
+_KIND_PREFIX = re.compile(r"^\[(crash|hang|oom)\]")
+
+_HEX_ADDR = re.compile(r"0x[0-9a-fA-F]+")
+_NUMBERS = re.compile(r"\d+(?:\.\d+)?")
+
+
+def normalize_error(error: str) -> str:
+    """Strip the volatile parts of an error string — addresses, elapsed
+    seconds, observed RSS — so identical failures hash identically
+    across runs.  Every number goes: two kills of the same leak at
+    372MB and 410MB are one failure class, not two.  (The address
+    placeholder is digit-free so the number pass leaves it alone.)"""
+    text = _HEX_ADDR.sub("ADDR", error)
+    return _NUMBERS.sub("N", text)
+
+
+def signature_of(kind: str, detail: str) -> str:
+    """Stable 12-hex digest for one failure class."""
+    body = f"{kind}|{normalize_error(detail)}"
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:12]
+
+
+def classify(status: str, error: Optional[str], result: Optional[dict],
+             attempts: int = 1) -> str:
+    """Map one executor outcome (+ its result payload) onto the taxonomy.
+
+    ``status`` is the executor's ``TaskOutcome.status`` (plus the soak
+    harness's ``quarantined``); ``result`` is the cell's JSON payload
+    when it ran.
+    """
+    if status == "timeout":
+        return "hang"
+    if status == "quarantined":
+        # The quarantine entry remembers its original kind; default to
+        # crash if an old entry predates the field.
+        return (result or {}).get("kind", "crash")
+    if status in ("ok", "cached"):
+        if result:
+            invariant = result.get("invariant") or {}
+            if invariant.get("violations"):
+                return "invariant"
+            if result.get("degraded"):
+                return "degraded"
+        if attempts > 1:
+            return "flaky"
+        return "ok"
+    # failed: watchdog kills tag their reason with the kind.
+    match = _KIND_PREFIX.match(error or "")
+    if match:
+        return match.group(1)
+    return "crash"
+
+
+def failure_detail(kind: str, error: Optional[str],
+                   result: Optional[dict]) -> str:
+    """The string a failure's signature is derived from."""
+    if kind == "invariant" and result:
+        invariant = result.get("invariant") or {}
+        monitors = sorted({v.get("monitor", "?")
+                           for v in invariant.get("violations", [])})
+        return "invariant:" + ",".join(monitors)
+    if kind == "degraded" and result:
+        return "degraded:" + str(result.get("degraded_code")
+                                 or result.get("degraded_reason") or "")
+    return error or kind
+
+
+@dataclass
+class SoakRecord:
+    """One soak cell's ledger line (JSON-safe)."""
+
+    draw: int
+    key: str
+    status: str
+    kind: str
+    signature: Optional[str]
+    cell: dict
+    error: Optional[str] = None
+    attempts: int = 1
+    seconds: float = 0.0
+    recovered: Optional[bool] = None
+    bundle: Optional[str] = None
+    repro: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SoakRecord":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass
+class FailureSignature:
+    """One deduplicated failure class across a soak run."""
+
+    signature: str
+    kind: str
+    count: int = 0
+    draws: List[int] = field(default_factory=list)
+    detail: str = ""
+    repro: Optional[str] = None
+    bundle: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {"signature": self.signature, "kind": self.kind,
+                "count": self.count, "draws": self.draws[:8],
+                "detail": self.detail, "repro": self.repro,
+                "bundle": self.bundle}
+
+
+class SoakReport:
+    """Triage rollup of a soak ledger: per-kind counts, deduplicated
+    failure signatures, and the run verdict."""
+
+    def __init__(self, records: Sequence[SoakRecord]):
+        self.records = list(records)
+        self.kind_counts: Dict[str, int] = {}
+        self.signatures: Dict[str, FailureSignature] = {}
+        for record in self.records:
+            self.kind_counts[record.kind] = \
+                self.kind_counts.get(record.kind, 0) + 1
+            if record.kind in ("ok",):
+                continue
+            signature = record.signature or signature_of(record.kind, "")
+            group = self.signatures.get(signature)
+            if group is None:
+                group = FailureSignature(
+                    signature=signature, kind=record.kind,
+                    detail=normalize_error(
+                        failure_detail(record.kind, record.error, None)
+                        if record.error else record.kind),
+                    repro=record.repro, bundle=record.bundle)
+                self.signatures[signature] = group
+            group.count += 1
+            group.draws.append(record.draw)
+            if group.repro is None:
+                group.repro = record.repro
+            if group.bundle is None:
+                group.bundle = record.bundle
+
+    @property
+    def ok(self) -> bool:
+        """True iff nothing worse than flakiness was observed."""
+        return all(group.kind == "flaky"
+                   for group in self.signatures.values())
+
+    def cells(self) -> int:
+        return len(self.records)
+
+    def rows(self) -> List[dict]:
+        """Per-signature table rows, worst kind first."""
+        order = {kind: rank for rank, kind in enumerate(FAILURE_KINDS)}
+        groups = sorted(self.signatures.values(),
+                        key=lambda g: (order.get(g.kind, 99), -g.count))
+        return [group.to_dict() for group in groups]
+
+    def to_dict(self) -> dict:
+        return {
+            "cells": self.cells(),
+            "kinds": dict(sorted(self.kind_counts.items())),
+            "signatures": self.rows(),
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        """Human-readable summary block (the table is printed separately
+        via :func:`repro.experiments.format_table`)."""
+        parts = [f"soak: {self.cells()} cells"]
+        for kind in ("ok", *FAILURE_KINDS):
+            count = self.kind_counts.get(kind, 0)
+            if count:
+                parts.append(f"{kind}: {count}")
+        lines = ["  ".join(parts)]
+        for group in self.rows():
+            lines.append(f"  [{group['kind']}] {group['signature']} "
+                         f"x{group['count']}: {group['detail']}")
+            if group["repro"]:
+                lines.append(f"    repro: {group['repro']}")
+        return "\n".join(lines)

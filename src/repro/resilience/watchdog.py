@@ -1,0 +1,325 @@
+"""Worker watchdogs: heartbeat files, a kill-and-requeue supervisor, and
+the persistent poison-task quarantine.
+
+The campaign executor can already survive workers that *die*; this
+module covers workers that are merely *stuck*.  Each supervised task
+writes a heartbeat file — ``{pid, token, time, rss}`` refreshed by a
+daemon thread — and the :class:`WorkerWatchdog` plugs into the
+executor's supervisor seam (:func:`repro.campaign.executor.run_tasks`'s
+``supervisor`` argument): every poll it reads the heartbeat directory,
+declares a task *hung* when its beats go stale and *oom* when its RSS
+breaches the budget, and SIGKILLs the offending worker.  The kill
+breaks the process pool, which the executor already knows how to
+rebuild — but because the watchdog can *attribute* the kill to one
+task, only the offender consumes a retry (with capped exponential
+backoff); its innocent in-flight siblings are requeued for free.
+
+:class:`Quarantine` is the durable poison list: cells that keep failing
+deterministically land in ``quarantine.json`` with their failure
+signature and a ready-to-paste reproduction command, and later soak
+runs skip them instead of burning retries on a known crasher.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+HEARTBEAT_SCHEMA = "repro.heartbeat/1"
+
+#: Worker-side refresh period.  The supervisor's ``stall_after`` should
+#: be several multiples of this so scheduler jitter never looks hung.
+HEARTBEAT_INTERVAL = 0.2
+
+#: Ceiling on the offender's requeue backoff (seconds).
+KILL_BACKOFF_CAP = 2.0
+
+
+def _rss_bytes() -> Optional[int]:
+    """Current RSS, best effort: /proc on Linux, ru_maxrss elsewhere."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; either way this is only the
+        # fallback path, so take the conservative (larger) reading.
+        return int(peak) * 1024 if peak < 1 << 32 else int(peak)
+    except Exception:
+        return None
+
+
+class Heartbeat:
+    """Worker-side liveness beacon: one JSON file, atomically refreshed.
+
+    The first beat is written synchronously before the task starts (so
+    the supervisor learns the worker's pid immediately); a daemon thread
+    keeps it fresh.  ``stop()`` silences the beacon — which is exactly
+    what a genuinely hung worker looks like, so the injected-hang soak
+    task calls it on purpose.
+    """
+
+    def __init__(self, directory: os.PathLike, token: str,
+                 interval: float = HEARTBEAT_INTERVAL):
+        self.path = Path(directory) / f"{token}.json"
+        self.token = token
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.beats = 0
+
+    def beat(self, **extra: Any) -> None:
+        payload = {
+            "schema": HEARTBEAT_SCHEMA,
+            "pid": os.getpid(),
+            "token": self.token,
+            "time": time.time(),
+            "rss": _rss_bytes(),
+        }
+        payload.update(extra)
+        body = json.dumps(payload, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=f".{self.token}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.beats += 1
+
+    def start(self) -> "Heartbeat":
+        self.beat()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name=f"heartbeat-{self.token}")
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.beat()
+            except OSError:
+                # A vanished directory must never crash the task itself.
+                return
+
+    def stop(self, unlink: bool = False) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+        if unlink:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    @classmethod
+    def from_directive(cls, directive: dict) -> "Heartbeat":
+        """Build from the ``_heartbeat`` payload directive the
+        supervisor's :meth:`WorkerWatchdog.wrap` injected."""
+        return cls(directive["dir"], directive["token"],
+                   interval=directive.get("interval", HEARTBEAT_INTERVAL))
+
+
+class WorkerWatchdog:
+    """Supervisor for the campaign executor's process pool.
+
+    Implements the executor's supervisor seam:
+
+    * :meth:`wrap` — called at submission; injects the ``_heartbeat``
+      directive and registers the (token → task) mapping;
+    * :meth:`poll` — called from the executor's poll loop; reads the
+      heartbeat directory and kills hung / over-budget workers;
+    * :meth:`take_kills` — consumed by the executor when the pool breaks,
+      to attribute the break to the task the watchdog shot;
+    * :meth:`release` — called when a task finishes normally.
+    """
+
+    def __init__(self, directory: os.PathLike, *,
+                 stall_after: float = 2.0,
+                 rss_limit_bytes: Optional[int] = None,
+                 poll_interval: float = 0.25,
+                 interval: float = HEARTBEAT_INTERVAL,
+                 kill_fn=None):
+        if stall_after <= 0:
+            raise ValueError("stall_after must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stall_after = stall_after
+        self.rss_limit_bytes = rss_limit_bytes
+        self.poll_interval = poll_interval
+        self.interval = min(interval, stall_after / 4.0)
+        self._kill = kill_fn or self._sigkill
+        self._active: Dict[str, dict] = {}     # token -> {index, submitted}
+        self._pending_kills: Dict[int, str] = {}
+        self._last_poll = 0.0
+        self.kills: List[dict] = []            # audit trail of every shot
+
+    # -- executor seam ---------------------------------------------------
+    def wrap(self, index: int, attempts: int, payload: Any) -> Any:
+        token = f"t{index}a{attempts}"
+        self._active[token] = {"index": index, "submitted": time.time()}
+        if isinstance(payload, dict):
+            payload = dict(payload)
+            payload["_heartbeat"] = {"dir": str(self.directory),
+                                     "token": token,
+                                     "interval": self.interval}
+        return payload
+
+    def release(self, index: int) -> None:
+        for token in [t for t, info in self._active.items()
+                      if info["index"] == index]:
+            del self._active[token]
+            try:
+                (self.directory / f"{token}.json").unlink()
+            except OSError:
+                pass
+
+    def poll(self) -> None:
+        now = time.time()
+        if now - self._last_poll < self.poll_interval:
+            return
+        self._last_poll = now
+        for token, info in list(self._active.items()):
+            beat = self._read(token)
+            if beat is None:
+                # No first beat yet: the task is queued behind a busy
+                # worker (or doesn't heartbeat at all) — nothing to kill.
+                continue
+            age = now - float(beat.get("time", 0.0))
+            rss = beat.get("rss")
+            if age > self.stall_after:
+                self._shoot(token, info, beat, "hang",
+                            f"[hang] no heartbeat for {age:.1f}s "
+                            f"(stall threshold {self.stall_after:g}s)")
+            elif (self.rss_limit_bytes is not None and rss is not None
+                    and rss > self.rss_limit_bytes):
+                self._shoot(token, info, beat, "oom",
+                            f"[oom] rss {rss / 1e6:.0f}MB over the "
+                            f"{self.rss_limit_bytes / 1e6:.0f}MB budget")
+
+    def take_kills(self) -> Dict[int, str]:
+        """Kill reasons by task index, consumed once per pool break."""
+        kills, self._pending_kills = self._pending_kills, {}
+        return kills
+
+    # -- internals -------------------------------------------------------
+    def _read(self, token: str) -> Optional[dict]:
+        try:
+            with (self.directory / f"{token}.json").open(
+                    "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    @staticmethod
+    def _sigkill(pid: int) -> None:
+        os.kill(pid, signal.SIGKILL)
+
+    def _shoot(self, token: str, info: dict, beat: dict, kind: str,
+               reason: str) -> None:
+        pid = beat.get("pid")
+        if pid:
+            try:
+                self._kill(int(pid))
+            except (ProcessLookupError, PermissionError):
+                pass
+        self._pending_kills[info["index"]] = reason
+        self.kills.append({"index": info["index"], "token": token,
+                           "pid": pid, "kind": kind, "reason": reason,
+                           "rss": beat.get("rss")})
+        del self._active[token]
+        try:
+            (self.directory / f"{token}.json").unlink()
+        except OSError:
+            pass
+
+
+class Quarantine:
+    """Durable poison-task list, persisted as ``quarantine.json``.
+
+    Entries are keyed by the cell's content address, so the same grid
+    cell is recognised across soak runs regardless of when it is drawn.
+    """
+
+    SCHEMA = "repro.quarantine/1"
+
+    def __init__(self, path: os.PathLike):
+        self.path = Path(path)
+        self.entries: Dict[str, dict] = {}
+        self.load()
+
+    def load(self) -> None:
+        try:
+            with self.path.open("r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.entries = {}
+            return
+        if doc.get("schema") != self.SCHEMA:
+            self.entries = {}
+            return
+        self.entries = dict(doc.get("entries", {}))
+
+    def save(self) -> None:
+        doc = {"schema": self.SCHEMA,
+               "entries": dict(sorted(self.entries.items()))}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(doc, indent=1, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent),
+                                   prefix=".quarantine-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key: str) -> Optional[dict]:
+        return self.entries.get(key)
+
+    def add(self, key: str, *, kind: str, signature: str, repro: str,
+            cell: dict, error: Optional[str] = None) -> dict:
+        """Record (or re-confirm) one poison cell and persist."""
+        entry = self.entries.get(key)
+        if entry is None:
+            entry = {"key": key, "kind": kind, "signature": signature,
+                     "repro": repro, "cell": cell, "error": error,
+                     "first_seen": time.time(), "hits": 0}
+            self.entries[key] = entry
+        entry["hits"] += 1
+        self.save()
+        return entry
+
+    def clear(self) -> None:
+        self.entries = {}
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

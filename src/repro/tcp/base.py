@@ -113,8 +113,14 @@ class TcpSender(SenderProtocol):
         self.cwnd += newly_acked / max(self.cwnd, 1.0)
 
     def ssthresh_on_loss(self) -> float:
-        """Multiplicative decrease target; default is Reno's half."""
-        return max(2.0, self.flight() / 2.0)
+        """Multiplicative decrease target; default is Reno's half.
+
+        Halves the *usable* window ``min(FlightSize, cwnd)`` rather than
+        RFC 5681's plain FlightSize: after a burst loss or blackout the
+        stale in-network backlog can dwarf an already-collapsed cwnd,
+        and FlightSize/2 would then *raise* the window on a loss event.
+        """
+        return max(2.0, min(self.flight(), self.cwnd) / 2.0)
 
     def on_rtt_sample(self, rtt: float) -> None:
         """Extra per-RTT-sample processing for subclasses."""

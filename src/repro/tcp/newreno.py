@@ -22,4 +22,7 @@ class NewRenoSender(TcpSender):
         self.cwnd += newly_acked / max(self.cwnd, 1.0)
 
     def ssthresh_on_loss(self) -> float:
-        return max(2.0, self.flight() / 2.0)
+        # min(FlightSize, cwnd): see TcpSender.ssthresh_on_loss — plain
+        # FlightSize/2 inflates the window when a burst loss leaves more
+        # packets stranded in the network than the collapsed cwnd.
+        return max(2.0, min(self.flight(), self.cwnd) / 2.0)

@@ -80,4 +80,7 @@ class VegasSender(TcpSender):
         self._min_rtt_round = None
 
     def ssthresh_on_loss(self) -> float:
-        return max(2.0, self.flight() / 2.0)
+        # min(FlightSize, cwnd): see TcpSender.ssthresh_on_loss — plain
+        # FlightSize/2 inflates the window when a burst loss leaves more
+        # packets stranded in the network than the collapsed cwnd.
+        return max(2.0, min(self.flight(), self.cwnd) / 2.0)

@@ -153,3 +153,82 @@ class TestCaching:
                         keys=["aa" * 32], retries=0)
         assert not run.outcomes[0].ok
         assert len(store) == 0
+
+
+def stuck_task(payload):
+    """Sleeps far past any test deadline unless told otherwise."""
+    if payload.get("stuck"):
+        time.sleep(30.0)
+        return "woke"
+    time.sleep(0.05)
+    return payload["value"]
+
+
+def crash_once_task(payload):
+    """Kills its worker on the first call only (sentinel file), so the
+    rebuilt pool survives and in-flight siblings get a clean retry."""
+    sentinel = Path(payload["sentinel"])
+    if not sentinel.exists():
+        sentinel.touch()
+        time.sleep(0.4)
+        os._exit(17)
+    time.sleep(0.05)
+    return payload["value"]
+
+
+class TestTimeoutAcrossPoolRecovery:
+    """Regression: a worker stuck inside a task must still be timed out
+    after a BrokenProcessPool rebuild, the pool must resume with the
+    surviving pending set, and no cell may be double-counted."""
+
+    def test_stuck_worker_survives_pool_break_and_times_out(self, tmp_path):
+        # Task 0 kills its worker (breaking the pool, once) while task 1
+        # is stuck inside the other worker; tasks 2-4 are queued behind.
+        # The break consumes one attempt from both in-flight tasks, so
+        # with one retry the stuck task is *requeued onto the rebuilt
+        # pool* — where the wall deadline must still catch it.
+        payloads = [{"sentinel": str(tmp_path / "c0"), "value": 0},
+                    {"stuck": True, "value": 1}] + \
+                   [{"value": i} for i in range(2, 5)]
+        run = run_tasks(payloads, _mixed_task, jobs=2, retries=1,
+                        timeout=2.0, backoff=0.01)
+        by_index = {o.index: o for o in run.outcomes}
+        assert by_index[0].status == "ok"
+        assert by_index[0].result == 0
+        assert by_index[0].attempts == 2
+        assert by_index[1].status == "timeout"
+        assert by_index[1].attempts == 2
+        assert [by_index[i].result for i in range(2, 5)] == [2, 3, 4]
+        assert run.stats.pool_restarts >= 1
+        assert run.stats.timeouts == 1
+
+        # Exactly one outcome per cell, and the stats ledger balances.
+        assert sorted(by_index) == list(range(5))
+        stats = run.stats
+        assert stats.executed + stats.cached + stats.failed \
+            + stats.timeouts == stats.total == 5
+
+    def test_no_double_count_after_repeated_breaks(self):
+        # Two crashers with a retry each force several pool rebuilds
+        # while echo tasks flow through; the executor's double-finish
+        # guard raises if any cell is finished twice.
+        payloads = [{"crash": True, "value": 0},
+                    {"crash": True, "value": 1}] + \
+                   [{"value": i} for i in range(2, 8)]
+        run = run_tasks(payloads, crashy_task, jobs=2, retries=1,
+                        backoff=0.01)
+        by_index = {o.index: o for o in run.outcomes}
+        assert sorted(by_index) == list(range(8))
+        assert by_index[0].status == "failed"
+        assert by_index[1].status == "failed"
+        assert [by_index[i].result for i in range(2, 8)] == list(range(2, 8))
+        stats = run.stats
+        assert stats.executed + stats.failed + stats.timeouts \
+            + stats.cached == stats.total == 8
+
+
+def _mixed_task(payload):
+    """Module-level dispatcher so the pool can pickle it."""
+    if "sentinel" in payload:
+        return crash_once_task(payload)
+    return stuck_task(payload)

@@ -235,3 +235,28 @@ class TestLiveLoopback:
                                   stepper=model.stepper(), duration=2.0,
                                   warmup=0.5, seed=17)
         assert result.stats(0).packets_received > 20
+
+    def test_watchdog_teardown_reports_structured_hang_code(self):
+        """A permanent outage silences every ACK; the ACK-inactivity
+        watchdog must declare the peer dead, tear the session down early,
+        and stamp the structured ``degraded_code`` (``"hang"`` in the
+        resilience taxonomy) alongside the human-readable reason."""
+        from repro.experiments.runner import FlowSpec
+        from repro.faults.spec import FaultEvent, FaultSchedule
+
+        duration = 8.0
+        trace = CellularChannelModel(
+            ChannelParams(mean_rate_bps=6e6, technology="3g"),
+            rng=np.random.default_rng(23)).generate(duration)
+        # Outage from 0.5 s to far past the session end: never heals.
+        sched = FaultSchedule([FaultEvent.outage(0.5, 60.0, "both")])
+        result = run_live_session([FlowSpec("verus", options={"r": 2.0})],
+                                  trace=trace, duration=duration,
+                                  warmup=0.2, seed=23,
+                                  fault_schedule=sched, max_silence=0.2)
+        assert result.degraded
+        assert result.degraded_code == "hang"
+        assert "peer presumed dead" in result.degraded_reason
+        assert result.summary()["degraded_code"] == "hang"
+        # Watchdog-fired teardown, not the duration timer.
+        assert result.duration < duration - 1.0

@@ -1,0 +1,493 @@
+"""Tests for the resilience subsystem: triage taxonomy, heartbeat
+watchdog, quarantine persistence, crash bundles and the soak harness.
+
+Pool-spawning endurance tests carry the ``soak`` marker so the fast CI
+tier can deselect them with ``-m "not soak"``; everything else here is
+plain in-process unit work.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import run_tasks
+from repro.resilience import (
+    Heartbeat,
+    Quarantine,
+    SoakRecord,
+    SoakReport,
+    SoakSpec,
+    WorkerWatchdog,
+    build_axes,
+    bundle_hash,
+    cell_key,
+    classify,
+    draw_cell,
+    draw_digest,
+    dump_bundle,
+    load_bundle,
+    load_ledger,
+    normalize_error,
+    normalize_traceback,
+    replay_cell,
+    run_soak,
+    run_soak_cell,
+    signature_of,
+)
+
+
+# ----------------------------------------------------------------------
+# Triage: taxonomy, normalisation, deduplication
+# ----------------------------------------------------------------------
+class TestTriage:
+    def test_normalize_strips_addresses_and_all_numbers(self):
+        raw = "worker 0x7f3a9c2b died at 372MB after 1.5s (attempt 2)"
+        assert normalize_error(raw) == \
+            "worker ADDR died at NMB after Ns (attempt N)"
+
+    def test_signature_stable_across_volatile_detail(self):
+        a = signature_of("oom", "[oom] rss 372MB over the 150MB budget")
+        b = signature_of("oom", "[oom] rss 410MB over the 150MB budget")
+        assert a == b
+        assert len(a) == 12
+
+    def test_signature_distinguishes_kinds(self):
+        assert signature_of("oom", "dead") != signature_of("hang", "dead")
+
+    def test_classify_executor_statuses(self):
+        assert classify("timeout", "timed out after 2.0s", None) == "hang"
+        assert classify("failed", "[hang] no heartbeat for 3.1s", None) \
+            == "hang"
+        assert classify("failed", "[oom] rss 372MB over budget", None) \
+            == "oom"
+        assert classify("failed", "ValueError: boom", None) == "crash"
+        assert classify("quarantined", None, {"kind": "oom"}) == "oom"
+        assert classify("quarantined", None, None) == "crash"
+
+    def test_classify_completed_results(self):
+        violated = {"invariant": {"violations": [{"monitor": "verus-law"}]}}
+        assert classify("ok", None, violated) == "invariant"
+        assert classify("ok", None, {"degraded": True,
+                                     "degraded_code": "hang"}) == "degraded"
+        assert classify("ok", None, {"recovered": True}, attempts=2) \
+            == "flaky"
+        assert classify("ok", None, {"recovered": True}) == "ok"
+        assert classify("cached", None, {}) == "ok"
+
+    def _record(self, draw, kind, signature, status="failed", repro=None):
+        return SoakRecord(draw=draw, key=f"k{draw}", status=status,
+                          kind=kind, signature=signature, cell={},
+                          repro=repro)
+
+    def test_report_deduplicates_by_signature(self):
+        sig = signature_of("crash", "ValueError: boom")
+        records = [
+            self._record(0, "crash", sig, repro="repro soak --replay k0"),
+            self._record(1, "crash", sig),
+            SoakRecord(draw=2, key="k2", status="ok", kind="ok",
+                       signature=None, cell={}),
+        ]
+        report = SoakReport(records)
+        assert report.cells() == 3
+        assert report.kind_counts == {"crash": 2, "ok": 1}
+        assert len(report.signatures) == 1
+        group = report.signatures[sig]
+        assert group.count == 2 and group.draws == [0, 1]
+        assert group.repro == "repro soak --replay k0"
+        assert not report.ok
+        assert "repro soak --replay k0" in report.render()
+
+    def test_flaky_only_report_is_ok(self):
+        records = [
+            self._record(0, "flaky", signature_of("flaky", "transient"),
+                         status="ok"),
+            SoakRecord(draw=1, key="k1", status="ok", kind="ok",
+                       signature=None, cell={}),
+        ]
+        assert SoakReport(records).ok
+
+    def test_rows_ordered_worst_first(self):
+        records = [
+            self._record(0, "flaky", "f" * 12, status="ok"),
+            self._record(1, "crash", "c" * 12),
+            self._record(2, "invariant", "i" * 12, status="ok"),
+        ]
+        kinds = [row["kind"] for row in SoakReport(records).rows()]
+        assert kinds == ["crash", "invariant", "flaky"]
+
+    def test_record_roundtrips_through_ledger_dict(self):
+        record = self._record(5, "oom", "a" * 12)
+        clone = SoakRecord.from_dict(json.loads(json.dumps(
+            record.to_dict())))
+        assert clone == record
+
+
+# ----------------------------------------------------------------------
+# Heartbeats and the watchdog (in-process, fake kills)
+# ----------------------------------------------------------------------
+class TestHeartbeat:
+    def test_beacon_writes_schema_and_keeps_beating(self, tmp_path):
+        hb = Heartbeat(tmp_path, "t0a0", interval=0.02).start()
+        try:
+            time.sleep(0.15)
+        finally:
+            hb.stop()
+        assert hb.beats >= 3
+        beat = json.loads(hb.path.read_text())
+        assert beat["schema"] == "repro.heartbeat/1"
+        assert beat["token"] == "t0a0"
+        assert beat["pid"] > 0
+        assert beat["rss"] is None or beat["rss"] > 0
+
+    def test_stop_unlink_removes_the_file(self, tmp_path):
+        hb = Heartbeat(tmp_path, "t1a0", interval=0.02).start()
+        assert hb.path.exists()
+        hb.stop(unlink=True)
+        assert not hb.path.exists()
+
+    def test_from_directive_matches_wrap(self, tmp_path):
+        dog = WorkerWatchdog(tmp_path, stall_after=1.0)
+        payload = dog.wrap(4, 1, {"value": 9})
+        assert payload["value"] == 9            # original untouched fields
+        hb = Heartbeat.from_directive(payload["_heartbeat"])
+        assert hb.token == "t4a1"
+        assert hb.path.parent == tmp_path
+
+
+class TestWorkerWatchdog:
+    def _beat(self, tmp_path, token, *, age=0.0, rss=10 << 20, pid=4242):
+        (tmp_path / f"{token}.json").write_text(json.dumps({
+            "schema": "repro.heartbeat/1", "pid": pid, "token": token,
+            "time": time.time() - age, "rss": rss}))
+
+    def test_stale_heartbeat_is_shot_as_hang(self, tmp_path):
+        killed = []
+        dog = WorkerWatchdog(tmp_path, stall_after=0.5, poll_interval=0.0,
+                             kill_fn=killed.append)
+        dog.wrap(0, 0, {})
+        self._beat(tmp_path, "t0a0", age=5.0)
+        dog.poll()
+        assert killed == [4242]
+        assert dog.kills[0]["kind"] == "hang"
+        kills = dog.take_kills()
+        assert set(kills) == {0} and kills[0].startswith("[hang]")
+        assert dog.take_kills() == {}           # consumed exactly once
+
+    def test_rss_breach_is_shot_as_oom(self, tmp_path):
+        killed = []
+        dog = WorkerWatchdog(tmp_path, stall_after=60.0,
+                             rss_limit_bytes=64 << 20, poll_interval=0.0,
+                             kill_fn=killed.append)
+        dog.wrap(2, 1, {})
+        self._beat(tmp_path, "t2a1", rss=200 << 20)
+        dog.poll()
+        assert killed == [4242]
+        assert dog.kills[0]["kind"] == "oom"
+        assert dog.take_kills()[2].startswith("[oom]")
+
+    def test_queued_task_without_beat_is_spared(self, tmp_path):
+        killed = []
+        dog = WorkerWatchdog(tmp_path, stall_after=0.5, poll_interval=0.0,
+                             kill_fn=killed.append)
+        dog.wrap(0, 0, {})                     # never wrote a first beat
+        dog.poll()
+        assert killed == [] and dog.take_kills() == {}
+
+    def test_fresh_beat_under_budget_is_spared(self, tmp_path):
+        killed = []
+        dog = WorkerWatchdog(tmp_path, stall_after=5.0,
+                             rss_limit_bytes=64 << 20, poll_interval=0.0,
+                             kill_fn=killed.append)
+        dog.wrap(0, 0, {})
+        self._beat(tmp_path, "t0a0", rss=1 << 20)
+        dog.poll()
+        assert killed == []
+
+    def test_release_clears_beat_file(self, tmp_path):
+        dog = WorkerWatchdog(tmp_path, stall_after=1.0)
+        dog.wrap(7, 0, {})
+        self._beat(tmp_path, "t7a0")
+        dog.release(7)
+        assert not (tmp_path / "t7a0.json").exists()
+        dog.poll()
+        assert dog.take_kills() == {}
+
+
+class TestQuarantine:
+    def _add(self, q, key="aa" * 32, kind="crash"):
+        return q.add(key, kind=kind, signature="c" * 12,
+                     repro=f"repro soak --replay {key[:12]}",
+                     cell={"task": {"protocol": "verus"}},
+                     error="ValueError: boom")
+
+    def test_entries_persist_across_instances(self, tmp_path):
+        path = tmp_path / "quarantine.json"
+        first = Quarantine(path)
+        self._add(first)
+        assert "aa" * 32 in first and len(first) == 1
+
+        again = Quarantine(path)
+        entry = again.get("aa" * 32)
+        assert entry["kind"] == "crash"
+        assert entry["hits"] == 1
+        assert entry["repro"].startswith("repro soak --replay")
+
+    def test_readd_increments_hits_not_entries(self, tmp_path):
+        q = Quarantine(tmp_path / "q.json")
+        self._add(q)
+        self._add(q)
+        assert len(q) == 1
+        assert q.get("aa" * 32)["hits"] == 2
+
+    def test_clear_removes_file_and_entries(self, tmp_path):
+        path = tmp_path / "q.json"
+        q = Quarantine(path)
+        self._add(q)
+        q.clear()
+        assert len(q) == 0 and not path.exists()
+        assert len(Quarantine(path)) == 0
+
+    def test_unknown_schema_is_ignored(self, tmp_path):
+        path = tmp_path / "q.json"
+        path.write_text(json.dumps({"schema": "something/else",
+                                    "entries": {"x": {}}}))
+        assert len(Quarantine(path)) == 0
+
+
+# ----------------------------------------------------------------------
+# Flight recorder: traceback normalisation, content-addressed bundles
+# ----------------------------------------------------------------------
+class TestBlackbox:
+    def test_normalize_traceback_uses_basenames(self):
+        try:
+            raise ValueError("boom at 0x7f00")
+        except ValueError as exc:
+            frames = normalize_traceback(exc)
+        assert frames[-1] == "ValueError: boom at 0x7f00"
+        name, lineno, func = frames[0].split(":")
+        assert name == "test_resilience.py"
+        assert int(lineno) > 0
+        assert func == "test_normalize_traceback_uses_basenames"
+
+    def test_bundle_hash_is_pure_and_discriminating(self):
+        task = {"protocol": "verus", "fault": "blackout"}
+        assert bundle_hash("crash", "a" * 12, task, 7) == \
+            bundle_hash("crash", "a" * 12, task, 7)
+        assert bundle_hash("crash", "a" * 12, task, 7) != \
+            bundle_hash("hang", "a" * 12, task, 7)
+        assert bundle_hash("crash", "a" * 12, task, 7) != \
+            bundle_hash("crash", "a" * 12, task, 8)
+
+    def test_dump_is_idempotent_and_loads_back(self, tmp_path):
+        task = {"protocol": "cubic", "seed": 3}
+        first = dump_bundle(tmp_path, kind="crash", signature="b" * 12,
+                            task=task, seed=3, error="ValueError: boom",
+                            frames=["mod.py:10:run", "ValueError: boom"],
+                            timeline_rows=[{"time": 0.1, "event": "send"}],
+                            repro="repro soak --replay bbbb")
+        body = load_bundle(first)
+        assert body["schema"] == "repro.crash-bundle/1"
+        assert body["kind"] == "crash"
+        assert body["signature"] == "b" * 12
+        assert body["task"] == task
+        assert body["timeline_events"] == 1
+        assert (tmp_path / body["hash"][:12] / "timeline.jsonl").exists()
+
+        again = dump_bundle(tmp_path, kind="crash", signature="b" * 12,
+                            task=task, seed=3, error="different volatile")
+        assert again == first                   # same identity, same dir
+        assert load_bundle(again)["error"] == "ValueError: boom"
+
+
+# ----------------------------------------------------------------------
+# Soak drawing: reproducibility without running anything
+# ----------------------------------------------------------------------
+def _spec(tmp_path, **overrides):
+    base = dict(seed=7, budget_cells=3, protocols=("cubic",),
+                faults=("none",), scenarios=("campus_stationary",),
+                duration=0.5, jobs=2, timeout=60.0, retries=0,
+                stall_after=2.0, rss_limit_mb=None,
+                state_dir=str(tmp_path / "state"))
+    base.update(overrides)
+    return SoakSpec(**base)
+
+
+class TestSoakDrawing:
+    def test_draws_are_pure_functions_of_seed_and_index(self, tmp_path):
+        spec = _spec(tmp_path, protocols=("verus", "cubic", "sprout"),
+                     faults=("none", "blackout"))
+        axes = build_axes(spec)
+        forward = [draw_cell(spec, axes, i) for i in range(6)]
+        # Drawing out of order, or again, changes nothing.
+        assert draw_cell(spec, axes, 3).to_dict() == forward[3].to_dict()
+        redraw = [draw_cell(spec, axes, i) for i in reversed(range(6))]
+        assert [c.to_dict() for c in reversed(redraw)] == \
+            [c.to_dict() for c in forward]
+        assert draw_digest(forward) == draw_digest(
+            [draw_cell(spec, axes, i) for i in range(6)])
+
+    def test_different_seed_draws_differently(self, tmp_path):
+        spec7 = _spec(tmp_path, protocols=("verus", "cubic", "sprout"))
+        spec8 = _spec(tmp_path, seed=8,
+                      protocols=("verus", "cubic", "sprout"))
+        axes7, axes8 = build_axes(spec7), build_axes(spec8)
+        six7 = [draw_cell(spec7, axes7, i) for i in range(6)]
+        six8 = [draw_cell(spec8, axes8, i) for i in range(6)]
+        assert draw_digest(six7) != draw_digest(six8)
+
+    def test_spec_validates_axes_and_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            _spec(tmp_path, protocols=("smtp",))
+        with pytest.raises(ValueError):
+            _spec(tmp_path, faults=("not-a-preset",))
+        with pytest.raises(ValueError):
+            _spec(tmp_path, budget_cells=None, budget_seconds=None)
+        with pytest.raises(ValueError):
+            _spec(tmp_path, inject={0: {"mode": "sigsegv"}})
+
+    def test_injection_salts_the_cell_key(self, tmp_path):
+        spec = _spec(tmp_path)
+        cell = draw_cell(spec, build_axes(spec), 0)
+        clean = cell_key(cell, None)
+        assert clean == cell.key()
+        salted = cell_key(cell, {"mode": "crash"})
+        assert salted != clean
+        assert salted == cell_key(cell, {"mode": "crash"})
+
+
+# ----------------------------------------------------------------------
+# Endurance paths: real pools, real kills (soak tier)
+# ----------------------------------------------------------------------
+@pytest.mark.soak
+class TestWatchdogKillsRealWorkers:
+    def test_hung_worker_is_killed_and_attributed(self, tmp_path):
+        dog = WorkerWatchdog(tmp_path / "hb", stall_after=0.6)
+        payload = {"_soak": {"inject": {"mode": "hang", "seconds": 30}}}
+        run = run_tasks([payload], run_soak_cell, jobs=2, retries=0,
+                        timeout=30.0, backoff=0.01, supervisor=dog)
+        outcome = run.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.error.startswith("[hang]")
+        assert classify(outcome.status, outcome.error, None) == "hang"
+        assert dog.kills and dog.kills[0]["kind"] == "hang"
+
+    def test_rss_breach_is_killed_and_attributed(self, tmp_path):
+        dog = WorkerWatchdog(tmp_path / "hb", stall_after=10.0,
+                             rss_limit_bytes=96 << 20)
+        payload = {"_soak": {"inject": {"mode": "oom", "mb": 256,
+                                        "seconds": 30}}}
+        run = run_tasks([payload], run_soak_cell, jobs=2, retries=0,
+                        timeout=30.0, backoff=0.01, supervisor=dog)
+        outcome = run.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.error.startswith("[oom]")
+        assert classify(outcome.status, outcome.error, None) == "oom"
+        assert dog.kills and dog.kills[0]["kind"] == "oom"
+        assert dog.kills[0]["rss"] > 96 << 20
+
+
+@pytest.mark.soak
+class TestSoakQuarantinePersistence:
+    def test_crasher_is_quarantined_then_skipped_then_freshened(
+            self, tmp_path):
+        spec = _spec(tmp_path, inject={1: {"mode": "crash"}})
+
+        # Run 1: draw 1 crashes, lands in the poison list with a repro.
+        first = run_soak(spec)
+        assert [r.kind for r in first.records] == ["ok", "crash", "ok"]
+        poisoned = first.records[1]
+        assert poisoned.status == "failed"
+        assert poisoned.signature and poisoned.repro
+        assert "--replay" in poisoned.repro
+        quarantine = Quarantine(
+            tmp_path / "state" / "quarantine.json")
+        assert poisoned.key in quarantine
+        assert quarantine.get(poisoned.key)["repro"] == poisoned.repro
+
+        # Run 2 over the same state dir: the poison cell is skipped
+        # without burning retries; ok cells come back cached.
+        second = run_soak(_spec(tmp_path, inject={1: {"mode": "crash"}}))
+        assert second.records[1].status == "quarantined"
+        assert second.records[1].kind == "crash"
+        assert second.records[1].attempts == 0
+        assert second.skipped == 1
+        assert second.stats["executed"] == 0
+        assert second.stats["cached"] == 2
+        assert second.stats["retries"] == 0
+        assert second.digest == first.digest
+        assert Quarantine(tmp_path / "state" /
+                          "quarantine.json").get(poisoned.key)["hits"] >= 2
+
+        # --fresh clears the poison list and the ledger: the crasher
+        # actually re-executes (and fails again); cached oks survive.
+        third = run_soak(_spec(tmp_path, inject={1: {"mode": "crash"}}),
+                         fresh=True)
+        assert third.records[1].status == "failed"
+        assert third.records[1].kind == "crash"
+        assert third.skipped == 0
+        assert third.stats["cached"] == 2
+        ledger = load_ledger(tmp_path / "state")
+        assert [r.draw for r in ledger] == [0, 1, 2]
+        assert ledger[1].status == "failed"
+
+    def test_same_spec_two_state_dirs_same_draw_and_bundles(self,
+                                                            tmp_path):
+        runs = []
+        for name in ("one", "two"):
+            spec = _spec(tmp_path, state_dir=str(tmp_path / name),
+                         inject={1: {"mode": "crash"}})
+            runs.append(run_soak(spec))
+        a, b = runs
+        assert a.digest == b.digest
+        assert a.records[1].signature == b.records[1].signature
+        # Content-addressed: same failure identity, same bundle id.
+        assert a.records[1].bundle and b.records[1].bundle
+        assert a.records[1].bundle.split("/")[-1] == \
+            b.records[1].bundle.split("/")[-1]
+
+
+@pytest.mark.soak
+class TestSoakAcceptance:
+    def test_injected_hang_oom_crash_triaged_and_replayable(self,
+                                                           tmp_path):
+        """The ISSUE acceptance scenario: one seeded soak with an
+        injected hang, oom and crash ends with the hang killed by the
+        watchdog, all three quarantined with repro commands, one bundle
+        per signature, and a failing report."""
+        spec = _spec(tmp_path, retries=1, stall_after=0.8,
+                     rss_limit_mb=150, timeout=30.0,
+                     inject={0: {"mode": "hang"},
+                             1: {"mode": "oom"},
+                             2: {"mode": "crash"}})
+        result = run_soak(spec)
+
+        by_kind = {r.kind: r for r in result.records}
+        assert set(by_kind) == {"hang", "oom", "crash"}
+        # The watchdog (not the 30 s wall deadline) caught the hang.
+        assert by_kind["hang"].status == "failed"
+        assert "[hang]" in by_kind["hang"].error
+        assert "[oom]" in by_kind["oom"].error
+        assert "injected deterministic crash" in by_kind["crash"].error
+        # Offender-only retries: each poison cell burnt its own attempts.
+        assert all(r.attempts == 2 for r in result.records)
+        assert result.stats["pool_restarts"] >= 2   # hang + oom kills
+
+        # One content-addressed bundle per signature, with the report
+        # carrying a ready-to-run repro line for each.
+        report = result.report
+        assert not report.ok
+        assert len(report.signatures) == 3
+        for row in report.rows():
+            assert row["repro"] and "--replay" in row["repro"]
+            assert row["bundle"]
+            assert load_bundle(row["bundle"])["signature"] == \
+                row["signature"]
+
+        quarantine = Quarantine(tmp_path / "state" / "quarantine.json")
+        assert len(quarantine) == 3
+
+        # The recorded repro command actually replays the crasher.
+        replay = replay_cell(spec, by_kind["crash"].key[:12])
+        assert replay.kind == "crash"
+        assert replay.signature == by_kind["crash"].signature

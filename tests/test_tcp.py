@@ -106,9 +106,20 @@ class TestCommonBehaviour:
 class TestNewReno:
     def test_loss_halves_window(self):
         sender = NewRenoSender(0)
+        sender.cwnd = 100.0
         sender.snd_nxt = 100
         sender.snd_una = 0
         assert sender.ssthresh_on_loss() == pytest.approx(50.0)
+
+    def test_loss_never_raises_window_above_half_cwnd(self):
+        # Regression (found by soak triage): after an RTO collapse the
+        # in-network backlog can dwarf cwnd, and plain FlightSize/2
+        # would *raise* the window on the next fast retransmit.
+        sender = NewRenoSender(0)
+        sender.cwnd = 8.0
+        sender.snd_nxt = 300
+        sender.snd_una = 0
+        assert sender.ssthresh_on_loss() == pytest.approx(4.0)
 
     def test_ca_additive_increase(self):
         sender = NewRenoSender(0)
