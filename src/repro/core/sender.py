@@ -490,7 +490,7 @@ class VerusSender(SenderProtocol):
             if k == 0:
                 self._paced_send()
             else:
-                self.sim.schedule(k * spacing, self._paced_send)
+                self.sim.call_later(k * spacing, self._paced_send)
 
     def _paced_send(self) -> None:
         if self.running and self.mode != RECOVERY:

@@ -182,7 +182,7 @@ class FaultInjector:
         if delay <= 0:
             self.dst(packet)
         else:
-            self.clock.schedule(delay, self.dst, packet)
+            self.clock.call_later(delay, self.dst, packet)
 
     # ------------------------------------------------------------------
     # Byte-level path (live backend only)

@@ -74,7 +74,7 @@ def run_faulted_contention(trace: np.ndarray, specs: Sequence[FlowSpec],
         receiver.attach(sim, reverse.send)
         data_demux.register(flow_id, receiver.on_data)
         ack_demux.register(flow_id, sender.on_ack)
-        sim.schedule_at(max(spec.start_at, sim.now), sender.start)
+        sim.call_at(max(spec.start_at, sim.now), sender.start)
         senders.append(sender)
         receivers.append(receiver)
 

@@ -74,6 +74,20 @@ class WallClock:
         """Run ``callback(*args)`` at absolute session time ``time``."""
         return self.schedule(time - self.now, callback, *args)
 
+    def call_later(self, delay: float, callback: Callable[..., Any],
+                   *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellable handle.
+
+        Mirrors :meth:`repro.netsim.engine.Simulator.call_later` so
+        protocol code may use the fast path on either substrate.
+        """
+        self.loop.call_later(max(0.0, delay), callback, *args)
+
+    def call_at(self, time: float, callback: Callable[..., Any],
+                *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at` (no cancellable handle)."""
+        self.loop.call_later(max(0.0, time - self.now), callback, *args)
+
     async def sleep_until(self, time: float) -> None:
         """Coroutine: suspend until absolute session time ``time``."""
         delay = time - self.now

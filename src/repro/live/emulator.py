@@ -255,8 +255,8 @@ class LinkEmulator:
         period = float(self.times[-1] - self.times[0]) + self.gap_s
         when = self._cycle * period + float(self.times[self._index])
         self._index += 1
-        self.clock.schedule(max(0.0, when - self.clock.now),
-                            self._opportunity_replay)
+        self.clock.call_later(max(0.0, when - self.clock.now),
+                              self._opportunity_replay)
 
     def _opportunity_replay(self) -> None:
         if not self._running:
@@ -270,12 +270,12 @@ class LinkEmulator:
             return
         start = self.stepper.now
         for when in self.stepper.advance(self.stepper_chunk):
-            self.clock.schedule(max(0.0, float(when) - self.clock.now),
-                                self._opportunity)
+            self.clock.call_later(max(0.0, float(when) - self.clock.now),
+                                  self._opportunity)
         # Refill when wall time reaches the start of the chunk just
         # drawn, keeping exactly one undrawn chunk of headroom.
-        self.clock.schedule(max(0.0, start - self.clock.now),
-                            self._schedule_chunk)
+        self.clock.call_later(max(0.0, start - self.clock.now),
+                              self._schedule_chunk)
 
     def _opportunity(self) -> None:
         """One delivery opportunity: release up to one MTU of queued data."""
@@ -318,7 +318,7 @@ class LinkEmulator:
         elif self.impairment is not None:
             self.impairment.send(packet)
         elif self.downlink_delay > 0:
-            self.clock.schedule(self.downlink_delay, self._deliver_tail, packet)
+            self.clock.call_later(self.downlink_delay, self._deliver_tail, packet)
         else:
             self._deliver_tail(packet)
 
@@ -348,7 +348,7 @@ class LinkEmulator:
             return
         self.stats.acks_forwarded += 1
         if self.uplink_delay > 0:
-            self.clock.schedule(self.uplink_delay, self._forward_ack, data)
+            self.clock.call_later(self.uplink_delay, self._forward_ack, data)
         else:
             self._forward_ack(data)
 

@@ -198,7 +198,7 @@ async def _session(specs, trace, stepper, duration, downlink_delay,
 
         emulator.start(receiver=receiver_addr)
         for spec, sender in zip(specs, senders):
-            clock.schedule(max(0.0, spec.start_at), sender.start)
+            clock.call_later(max(0.0, spec.start_at), sender.start)
 
         try:
             await asyncio.wait_for(stop.wait(),

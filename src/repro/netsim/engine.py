@@ -9,6 +9,19 @@ problems a real-time Python implementation of Verus would have.
 Events fire in non-decreasing time order.  Ties are broken by scheduling
 order (FIFO among simultaneous events), which makes runs fully deterministic
 for a fixed seed.
+
+Performance notes
+-----------------
+Heap entries are 5-tuples ``(time, seq, event_or_None, callback, args)``.
+Callers that never cancel use :meth:`Simulator.call_later` /
+:meth:`Simulator.call_at`, which skip the :class:`Event` allocation
+entirely (the third slot is ``None``); :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at` still return a cancellable handle.  Both
+paths draw ``seq`` from the same counter, so mixing them preserves the
+FIFO tie-break exactly.  Cancelled events stay in the heap as corpses
+but are counted (``_corpses``), which makes :meth:`Simulator.pending`
+O(1) and lets the heap be compacted in place once corpses outnumber
+live entries.
 """
 
 from __future__ import annotations
@@ -26,20 +39,31 @@ class Event:
     """Handle for a scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` and may be cancelled.
-    A cancelled event stays in the heap but is skipped when popped.
+    A cancelled event stays in the heap but is skipped when popped.  The
+    ``_sim`` backreference is non-None exactly while the event sits live
+    in a simulator heap; it is cleared when the event fires, is
+    cancelled, or is swept out by compaction, so the corpse counter never
+    double-counts.
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(self, time: float, callback: Callable[..., Any],
+                 args: Tuple[Any, ...], sim: "Optional[Simulator]" = None):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                self._sim = None
+                sim._note_cancel()
 
     @property
     def active(self) -> bool:
@@ -50,6 +74,12 @@ class Event:
         state = "cancelled" if self.cancelled else "pending"
         name = getattr(self.callback, "__qualname__", repr(self.callback))
         return f"<Event t={self.time:.6f} {name} [{state}]>"
+
+
+# Compaction threshold: sweep the heap in place once cancelled corpses
+# outnumber live entries, but never bother below this size — tiny heaps
+# drain corpses naturally through pops.
+_COMPACT_MIN_HEAP = 64
 
 
 class Simulator:
@@ -64,11 +94,14 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[tuple] = []
         self._counter = itertools.count()
         self._running = False
         self._stopped = False
         self.events_processed: int = 0
+        #: Cancelled events still sitting in the heap.  Kept exact so
+        #: ``pending()`` is O(1) and compaction knows when to trigger.
+        self._corpses: int = 0
         # Conformance seam: callables invoked as fn(time) just before each
         # event fires (see repro.check).  Empty for normal runs, so the
         # only steady-state cost is one falsy check per event.
@@ -97,7 +130,11 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback, *args)
+        time = self.now + delay
+        event = Event(time, callback, args, self)
+        heapq.heappush(self._heap,
+                       (time, next(self._counter), event, callback, args))
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
@@ -105,9 +142,29 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (t={time} < now={self.now})"
             )
-        event = Event(time, callback, args)
-        heapq.heappush(self._heap, (time, next(self._counter), event))
+        event = Event(time, callback, args, self)
+        heapq.heappush(self._heap,
+                       (time, next(self._counter), event, callback, args))
         return event
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fast path of :meth:`schedule` for callbacks that are never
+        cancelled: no :class:`Event` handle is allocated, only the heap
+        tuple.  Ordering is identical to ``schedule`` — both draw their
+        tie-break sequence number from the same counter."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap,
+                       (self.now + delay, next(self._counter), None, callback, args))
+
+    def call_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fast path of :meth:`schedule_at` (no cancellable handle)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self.now})"
+            )
+        heapq.heappush(self._heap,
+                       (time, next(self._counter), None, callback, args))
 
     # ------------------------------------------------------------------
     # Execution
@@ -123,42 +180,63 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
-        count = 0
+        # Hot loop: everything it touches per event is a local.  The
+        # monitor check is one truthiness test on a (normally empty) local
+        # list, which is the zero-monitor fast path; ``events_processed``
+        # accumulates locally and is flushed in ``finally`` (nothing reads
+        # it mid-run).  ``limit``/``stop_after`` turn the optional
+        # arguments into unconditional comparisons.
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        monitors = self._monitors
+        limit = float("inf") if until is None else until
+        stop_after = -1 if max_events is None else max(1, max_events)
+        processed = 0
         try:
-            while self._heap:
-                time, _, event = self._heap[0]
-                if until is not None and time > until:
+            while heap:
+                entry = pop(heap)
+                time = entry[0]
+                if time > limit:
+                    push(heap, entry)
                     break
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                if self._monitors:
-                    for monitor in self._monitors:
+                event = entry[2]
+                if event is not None:
+                    if event.cancelled:
+                        self._corpses -= 1
+                        continue
+                    event._sim = None
+                if monitors:
+                    for monitor in monitors:
                         monitor(time)
                 self.now = time
-                event.callback(*event.args)
-                self.events_processed += 1
-                count += 1
-                if self._stopped:
-                    break
-                if max_events is not None and count >= max_events:
+                entry[3](*entry[4])
+                processed += 1
+                if self._stopped or processed == stop_after:
                     break
         finally:
             self._running = False
+            self.events_processed += processed
         if until is not None and not self._stopped and self.now < until:
             self.now = until
 
     def step(self) -> bool:
         """Execute the single next pending event.  Returns False if none."""
-        while self._heap:
-            time, _, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            event = entry[2]
+            if event is not None:
+                if event.cancelled:
+                    self._corpses -= 1
+                    continue
+                event._sim = None
+            time = entry[0]
             if self._monitors:
                 for monitor in self._monitors:
                     monitor(time)
             self.now = time
-            event.callback(*event.args)
+            entry[3](*entry[4])
             self.events_processed += 1
             return True
         return False
@@ -168,26 +246,50 @@ class Simulator:
         self._stopped = True
 
     # ------------------------------------------------------------------
+    # Corpse accounting
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is still heaped."""
+        self._corpses += 1
+        heap_len = len(self._heap)
+        if heap_len >= _COMPACT_MIN_HEAP and self._corpses * 2 > heap_len:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled corpses and re-heapify, in place.
+
+        In place matters: ``run()`` holds a local alias to the heap list,
+        so the list object must survive compaction.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap
+                   if entry[2] is None or not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._corpses = 0
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for _, _, e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1)."""
+        return len(self._heap) - self._corpses
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the heap is empty.
 
-        Cancelled events linger in the heap until popped, so probe the
-        smallest few first (``nsmallest`` is O(n) vs a full sort's
-        O(n log n)) and only fall back to scanning everything when the
-        head of the heap is all corpses.
+        Cancelled corpses at the head of the heap are popped and
+        discarded on the way — they could never fire anyway, so evicting
+        them here is invisible to the schedule and keeps repeated peeks
+        amortised O(log n) instead of rescanning the same corpses.
         """
-        for time, _, event in heapq.nsmallest(16, self._heap):
-            if not event.cancelled:
-                return time
-        for time, _, event in sorted(self._heap):
-            if not event.cancelled:
-                return time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event is None or not event.cancelled:
+                return entry[0]
+            heapq.heappop(heap)
+            self._corpses -= 1
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

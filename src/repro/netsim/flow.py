@@ -42,9 +42,10 @@ class Clock(Protocol):
 
     :class:`~repro.netsim.engine.Simulator` implements it with simulated
     time; :class:`repro.live.clock.WallClock` implements it with asyncio
-    wall-clock timers.  Protocol code must only ever touch ``now`` and
-    ``schedule`` (plus :class:`~repro.netsim.engine.PeriodicTimer`, which
-    itself only uses these two), never simulator-only APIs such as
+    wall-clock timers.  Protocol code must only ever touch ``now``,
+    ``schedule`` and the fire-and-forget ``call_later`` fast path (plus
+    :class:`~repro.netsim.engine.PeriodicTimer`, which itself only uses
+    the first two), never simulator-only APIs such as
     ``run``/``step`` — that is what keeps one protocol implementation
     valid on both substrates.
     """
@@ -54,6 +55,9 @@ class Clock(Protocol):
 
     def schedule(self, delay: float, callback: Callable[..., Any],
                  *args: Any) -> EventHandle: ...
+
+    def call_later(self, delay: float, callback: Callable[..., Any],
+                   *args: Any) -> None: ...
 
 
 class SenderProtocol:

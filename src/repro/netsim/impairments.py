@@ -49,7 +49,7 @@ class JitterLink:
         if self.dst is None:
             raise RuntimeError("JitterLink has no destination attached")
         delay = self.base_delay + float(self.rng.uniform(0.0, self.jitter))
-        self.sim.schedule(delay, self.dst, packet)
+        self.sim.call_later(delay, self.dst, packet)
 
 
 class ReorderingLink:
@@ -81,9 +81,9 @@ class ReorderingLink:
         if self._count % self.every_n == 0:
             # Hold this packet back past its successors.
             self.reordered += 1
-            self.sim.schedule(self.delay + self.hold_time, self.dst, packet)
+            self.sim.call_later(self.delay + self.hold_time, self.dst, packet)
         else:
-            self.sim.schedule(self.delay, self.dst, packet)
+            self.sim.call_later(self.delay, self.dst, packet)
 
 
 class DuplicatingLink:
@@ -104,7 +104,7 @@ class DuplicatingLink:
         if self.dst is None:
             raise RuntimeError("DuplicatingLink has no destination attached")
         self._count += 1
-        self.sim.schedule(self.delay, self.dst, packet)
+        self.sim.call_later(self.delay, self.dst, packet)
         if self._count % self.every_n == 0:
             self.duplicated += 1
-            self.sim.schedule(self.delay + 0.0001, self.dst, packet)
+            self.sim.call_later(self.delay + 0.0001, self.dst, packet)

@@ -41,7 +41,7 @@ class DelayLine:
         if self.delay == 0:
             self.dst(packet)
         else:
-            self.sim.schedule(self.delay, self.dst, packet)
+            self.sim.call_later(self.delay, self.dst, packet)
 
 
 class Link:
@@ -96,7 +96,7 @@ class Link:
             return
         self._busy = True
         tx_time = packet.size * 8.0 / self.rate_bps
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+        self.sim.call_later(tx_time, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
@@ -113,7 +113,7 @@ class Link:
         if self.delay == 0:
             self.dst(packet)
         else:
-            self.sim.schedule(self.delay, self.dst, packet)
+            self.sim.call_later(self.delay, self.dst, packet)
 
 
 @dataclass
@@ -191,7 +191,7 @@ class VariableLink(Link):
         self.schedule = schedule
         self._phase_index = 0
         self.condition_changes = 0
-        sim.schedule(first.duration, self._advance_phase)
+        sim.call_later(first.duration, self._advance_phase)
 
     def set_conditions(self, rate_bps: float, delay: float, loss_rate: float) -> None:
         if rate_bps <= 0:
@@ -209,7 +209,7 @@ class VariableLink(Link):
             self._phase_index = 0
         phase = self.schedule.phases[self._phase_index]
         self.set_conditions(phase.rate_bps, phase.delay, phase.loss_rate)
-        self.sim.schedule(phase.duration, self._advance_phase)
+        self.sim.call_later(phase.duration, self._advance_phase)
 
     def current_phase(self) -> LinkPhase:
         return self.schedule.phases[self._phase_index]

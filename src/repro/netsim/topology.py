@@ -76,9 +76,9 @@ class Dumbbell:
 
         handle = FlowHandle(sender.flow_id, sender, receiver, rtt, start_at, stop_at)
         self.flows.append(handle)
-        self.sim.schedule_at(max(start_at, self.sim.now), sender.start)
+        self.sim.call_at(max(start_at, self.sim.now), sender.start)
         if stop_at is not None:
-            self.sim.schedule_at(stop_at, sender.stop)
+            self.sim.call_at(stop_at, sender.stop)
         return handle
 
     def run(self, duration: float) -> None:
@@ -109,7 +109,7 @@ class DirectPath:
         receiver.attach(sim, reverse_path.send)
 
     def run(self, duration: float, start_at: float = 0.0) -> None:
-        self.sim.schedule_at(max(start_at, self.sim.now), self.sender.start)
+        self.sim.call_at(max(start_at, self.sim.now), self.sender.start)
         self.sim.run(until=self.sim.now + duration)
 
 
@@ -143,7 +143,7 @@ class OnOffSource(SenderProtocol):
         super().start()
         if self.on_period is not None:
             period = self.on_period if self.is_on else self.off_period
-            self.sim.schedule(period, self._toggle)
+            self.sim.call_later(period, self._toggle)
         self._emit()
 
     def _toggle(self) -> None:
@@ -151,7 +151,7 @@ class OnOffSource(SenderProtocol):
             return
         self.is_on = not self.is_on
         period = self.on_period if self.is_on else self.off_period
-        self.sim.schedule(period, self._toggle)
+        self.sim.call_later(period, self._toggle)
 
     def _emit(self) -> None:
         if not self.running:
@@ -161,7 +161,7 @@ class OnOffSource(SenderProtocol):
                             size=self.packet_size, sent_time=self.now)
             self._seq += 1
             self.send(packet)
-        self.sim.schedule(self.interval, self._emit)
+        self.sim.call_later(self.interval, self._emit)
 
     def on_ack(self, packet: Packet) -> None:
         """Open-loop source: acknowledgements are ignored."""

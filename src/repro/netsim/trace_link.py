@@ -126,7 +126,7 @@ class TraceLink:
         if when is None:
             return
         when = max(when, self.sim.now)
-        self.sim.schedule_at(when, self._opportunity)
+        self.sim.call_at(when, self._opportunity)
 
     def _opportunity(self) -> None:
         self._index += 1
@@ -155,7 +155,7 @@ class TraceLink:
         if self.delay == 0:
             self.dst(packet)
         else:
-            self.sim.schedule(self.delay, self.dst, packet)
+            self.sim.call_later(self.delay, self.dst, packet)
 
     # ------------------------------------------------------------------
     def average_rate_bps(self) -> float:

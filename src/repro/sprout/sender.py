@@ -174,7 +174,7 @@ class SproutSender(SenderProtocol):
             if k == 0:
                 self._emit()
             else:
-                self.sim.schedule(k * spacing, self._emit)
+                self.sim.call_later(k * spacing, self._emit)
 
     def _emit(self) -> None:
         if not self.running:

@@ -178,3 +178,122 @@ class TestPeriodicTimer:
         sim = Simulator()
         with pytest.raises(SimulationError):
             PeriodicTimer(sim, 0.0, lambda: None)
+
+
+class TestFastPathScheduling:
+    """call_later/call_at: tuple-only scheduling for never-cancelled work."""
+
+    def test_call_later_fires_like_schedule(self):
+        sim = Simulator()
+        order = []
+        sim.call_later(2.0, order.append, "b")
+        sim.call_later(1.0, order.append, "a")
+        assert sim.call_later(0.5, order.append, "z") is None
+        sim.run()
+        assert order == ["z", "a", "b"]
+
+    def test_fifo_tie_break_is_shared_with_schedule(self):
+        # Both APIs draw from the same sequence counter, so interleaving
+        # them at the same timestamp preserves submission order exactly.
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "s1")
+        sim.call_later(1.0, order.append, "f1")
+        sim.schedule(1.0, order.append, "s2")
+        sim.call_at(1.0, order.append, "f2")
+        sim.run()
+        assert order == ["s1", "f1", "s2", "f2"]
+
+    def test_call_later_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_later(-0.1, lambda: None)
+
+    def test_call_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_counts_in_events_processed_and_pending(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.call_later(i * 0.1, lambda: None)
+        assert sim.pending() == 10
+        sim.run()
+        assert sim.events_processed == 10
+        assert sim.pending() == 0
+
+
+class TestCorpseCompaction:
+    """Cancelled events must not accumulate in the heap unboundedly."""
+
+    def test_cancel_heavy_workload_keeps_heap_bounded(self):
+        # RTO-timer churn: every tick arms a timer and cancels the
+        # previous one, so all but one scheduled event becomes a corpse.
+        sim = Simulator()
+        state = {"rto": None, "ticks": 0}
+
+        def tick():
+            if state["rto"] is not None:
+                state["rto"].cancel()
+            state["rto"] = sim.schedule(60.0, lambda: None)
+            state["ticks"] += 1
+            if state["ticks"] < 5000:
+                sim.call_later(0.001, tick)
+
+        sim.call_later(0.0, tick)
+        sim.run(until=30.0)
+        assert state["ticks"] == 5000
+        # Without compaction the heap would hold ~5000 corpses; with it,
+        # corpses can never exceed live entries plus the sweep threshold.
+        assert len(sim._heap) <= 2 * sim.pending() + 64
+        assert sim.pending() == 1  # the last armed RTO timer
+
+    def test_pending_is_exact_under_cancellation(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i, lambda: None) for i in range(200)]
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending() == 100
+        for event in events:  # double-cancel must not double-count
+            event.cancel()
+        assert sim.pending() == 0
+
+    def test_cancel_after_fire_does_not_corrupt_accounting(self):
+        sim = Simulator()
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        fired.cancel()  # already popped: must not touch the corpse count
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_peek_time_evicts_head_corpses(self):
+        sim = Simulator()
+        doomed = [sim.schedule(1.0 + i * 0.01, lambda: None) for i in range(10)]
+        sim.schedule(5.0, lambda: None)
+        for event in doomed:
+            event.cancel()
+        assert sim.peek_time() == 5.0
+        assert sim.pending() == 1
+
+    def test_peek_time_sees_fast_path_entries(self):
+        sim = Simulator()
+        sim.call_later(3.0, lambda: None)
+        assert sim.peek_time() == 3.0
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        order = []
+        keep, doom = [], []
+        for i in range(300):
+            keep.append(sim.schedule(10.0 + i, order.append, i))
+            doom.append(sim.schedule(5.0 + i * 0.01, order.append, -1))
+        for event in doom:
+            event.cancel()  # triggers in-place compaction mid-stream
+        sim.run()
+        assert order == list(range(300))
+        assert sim.events_processed == 300
