@@ -23,7 +23,9 @@ from ..core.sender import VerusSender
 from ..experiments.runner import FlowSpec, make_endpoints
 from ..netsim.engine import PeriodicTimer, Simulator
 from ..netsim.link import DelayLine, LinkPhase, LinkSchedule, VariableLink
+from ..netsim.packet import PacketPool
 from ..netsim.queues import DropTailQueue
+from ..netsim.topology import pooled_ack_sink
 from ..netsim.tracing import FlowTracer
 from ..tcp.base import TcpSender
 from .monitors import (
@@ -168,7 +170,12 @@ def run_audited(scenario: CheckScenario) -> AuditedRun:
     tracer = FlowTracer(clock=lambda: sim.now)
     link.dst = tracer.tap("receiver-in", dst=receiver.on_data)
     sender.attach(sim, tracer.tap("sender-out", dst=link.send))
-    ack_in = tracer.tap("sender-ack-in", dst=sender.on_ack)
+    # The ACK freelist runs *under* the tracing taps here, so the golden
+    # comparison doubles as proof that pooling is invisible to tracing.
+    ack_pool = PacketPool()
+    receiver.ack_pool = ack_pool
+    ack_in = tracer.tap("sender-ack-in",
+                        dst=pooled_ack_sink(sender.on_ack, ack_pool))
     reverse = DelayLine(sim, scenario.rtt / 2.0, dst=ack_in)
     receiver.attach(sim, tracer.tap("receiver-ack-out", dst=reverse.send))
 

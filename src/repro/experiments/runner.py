@@ -172,7 +172,9 @@ def summary_stats(summary: dict) -> List[FlowStats]:
 def _run_dumbbell(sim: Simulator, bottleneck, specs: Sequence[FlowSpec],
                   duration: float, default_rtt: float,
                   warmup: float) -> ExperimentResult:
-    bell = Dumbbell(sim, bottleneck, default_rtt=default_rtt)
+    # ACKs on the clean reverse path are dead once the sender's handler
+    # returns, so every plain (fault-free) experiment recycles them.
+    bell = Dumbbell(sim, bottleneck, default_rtt=default_rtt, ack_pool=True)
     senders, receivers = [], []
     for flow_id, spec in enumerate(specs):
         sender, receiver = make_endpoints(spec, flow_id)

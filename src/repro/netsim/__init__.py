@@ -12,7 +12,7 @@ from .fair_queue import DRRQueue
 from .flow import Clock, Demux, EventHandle, ReceiverProtocol, SenderProtocol
 from .impairments import DuplicatingLink, JitterLink, ReorderingLink
 from .link import DelayLine, Link, LinkPhase, LinkSchedule, VariableLink
-from .packet import ACK_BYTES, MTU_BYTES, Packet
+from .packet import ACK_BYTES, MTU_BYTES, Packet, PacketPool
 from .queues import CoDelQueue, DropTailQueue, QueueStats, REDQueue
 from .topology import Dumbbell, DirectPath, FlowHandle, OnOffSource, SinkReceiver
 from .trace_link import TraceLink
@@ -41,6 +41,7 @@ __all__ = [
     "MTU_BYTES",
     "OnOffSource",
     "Packet",
+    "PacketPool",
     "PacketTap",
     "PeriodicTimer",
     "QueueStats",

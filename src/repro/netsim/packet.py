@@ -5,12 +5,21 @@ controllers stamp protocol-specific metadata on data packets (e.g. Verus
 records the sending window a packet was emitted under, eq. 6 of the paper
 needs ``W_loss``); receivers echo that metadata back on ACKs so the sender
 can reconstruct per-packet context without keeping unbounded state.
+
+``Packet`` is a hand-rolled ``__slots__`` class rather than a dataclass:
+packet construction sits on the per-delivery hot path of every simulated
+link, and slots cut both the per-instance memory and the attribute access
+cost.  Equality still compares all fields, mirroring the previous
+dataclass semantics.  :class:`PacketPool` adds an *optional* freelist for
+the one packet population that is provably short-lived — acknowledgements
+— behind an explicit wiring seam that stays off by default, so tracing
+and fault-injection paths (which may hold packet references across time)
+always see fresh objects unless a caller opts in.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 #: Default maximum transmission unit used throughout the paper's experiments.
 MTU_BYTES = 1400
@@ -18,8 +27,11 @@ MTU_BYTES = 1400
 #: Nominal size of a bare acknowledgement.
 ACK_BYTES = 40
 
+_FIELDS = ("flow_id", "seq", "size", "sent_time", "is_ack", "ack_seq",
+           "echo_sent_time", "window_at_send", "retransmission",
+           "enqueue_time", "ecn", "payload")
 
-@dataclass
+
 class Packet:
     """A simulated packet.
 
@@ -54,39 +66,132 @@ class Packet:
         Free-form slot for protocol-specific extras (e.g. Sprout forecast).
     """
 
-    flow_id: int
-    seq: int
-    size: int = MTU_BYTES
-    sent_time: float = 0.0
-    is_ack: bool = False
-    ack_seq: int = -1
-    echo_sent_time: float = 0.0
-    window_at_send: float = 0.0
-    retransmission: bool = False
-    enqueue_time: float = 0.0
-    ecn: bool = False
-    payload: Optional[dict] = field(default=None, repr=False)
+    __slots__ = _FIELDS
+
+    def __init__(self, flow_id: int, seq: int, size: int = MTU_BYTES,
+                 sent_time: float = 0.0, is_ack: bool = False,
+                 ack_seq: int = -1, echo_sent_time: float = 0.0,
+                 window_at_send: float = 0.0, retransmission: bool = False,
+                 enqueue_time: float = 0.0, ecn: bool = False,
+                 payload: Optional[dict] = None):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.size = size
+        self.sent_time = sent_time
+        self.is_ack = is_ack
+        self.ack_seq = ack_seq
+        self.echo_sent_time = echo_sent_time
+        self.window_at_send = window_at_send
+        self.retransmission = retransmission
+        self.enqueue_time = enqueue_time
+        self.ecn = ecn
+        self.payload = payload
 
     def make_ack(self, now: float, ack_seq: Optional[int] = None,
-                 size: int = ACK_BYTES) -> "Packet":
+                 size: int = ACK_BYTES,
+                 pool: "Optional[PacketPool]" = None) -> "Packet":
         """Build the acknowledgement for this data packet.
 
         ``ack_seq`` defaults to this packet's own sequence number (per-packet
         acknowledgement, as used by Verus and Sprout); TCP receivers pass the
-        cumulative next-expected sequence instead.
+        cumulative next-expected sequence instead.  When ``pool`` is given
+        the acknowledgement is drawn from that freelist instead of being
+        freshly allocated; every field is (re)assigned either way.
         """
+        if ack_seq is None:
+            ack_seq = self.seq
+        if pool is not None:
+            return pool.acquire_ack(self, now, ack_seq, size)
         return Packet(
             flow_id=self.flow_id,
             seq=self.seq,
             size=size,
             sent_time=now,
             is_ack=True,
-            ack_seq=self.seq if ack_seq is None else ack_seq,
+            ack_seq=ack_seq,
             echo_sent_time=self.sent_time,
             window_at_send=self.window_at_send,
             retransmission=self.retransmission,
         )
 
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Packet:
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f) for f in _FIELDS)
+
+    # Mirror the previous dataclass(eq=True) semantics: unhashable.
+    __hash__ = None  # type: ignore[assignment]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "ACK" if self.is_ack else "DATA"
         return f"<{kind} flow={self.flow_id} seq={self.seq} size={self.size}>"
+
+
+class PacketPool:
+    """Bounded freelist for short-lived acknowledgement packets.
+
+    The seam contract: a packet may be :meth:`release`-d only once nothing
+    holds a reference to it — in practice the wiring layer releases an ACK
+    right after the sender's ``on_ack`` handler returns (see
+    :class:`~repro.netsim.topology.Dumbbell`).  ``acquire_ack`` reassigns
+    *every* field, so a recycled packet is indistinguishable from a fresh
+    one; ``release`` additionally drops the ``payload`` reference so pooled
+    corpses never pin protocol state alive.  Paths that retain packets
+    across simulated time (fault injectors replaying or duplicating,
+    debugging by object identity) must simply not enable the pool — it is
+    off by default everywhere.
+    """
+
+    __slots__ = ("_free", "max_size", "allocated", "reused")
+
+    def __init__(self, max_size: int = 256):
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self._free: List[Packet] = []
+        self.max_size = max_size
+        #: Packets built fresh because the freelist was empty.
+        self.allocated = 0
+        #: Packets served from the freelist.
+        self.reused = 0
+
+    def acquire_ack(self, data: Packet, now: float, ack_seq: int,
+                    size: int) -> Packet:
+        """The pooled equivalent of :meth:`Packet.make_ack`."""
+        free = self._free
+        if free:
+            self.reused += 1
+            ack = free.pop()
+            ack.flow_id = data.flow_id
+            ack.seq = data.seq
+            ack.size = size
+            ack.sent_time = now
+            ack.is_ack = True
+            ack.ack_seq = ack_seq
+            ack.echo_sent_time = data.sent_time
+            ack.window_at_send = data.window_at_send
+            ack.retransmission = data.retransmission
+            ack.enqueue_time = 0.0
+            ack.ecn = False
+            ack.payload = None
+            return ack
+        self.allocated += 1
+        return Packet(
+            flow_id=data.flow_id,
+            seq=data.seq,
+            size=size,
+            sent_time=now,
+            is_ack=True,
+            ack_seq=ack_seq,
+            echo_sent_time=data.sent_time,
+            window_at_send=data.window_at_send,
+            retransmission=data.retransmission,
+        )
+
+    def release(self, packet: Packet) -> None:
+        """Return ``packet`` to the freelist (drops any payload reference)."""
+        packet.payload = None
+        if len(self._free) < self.max_size:
+            self._free.append(packet)
+
+    def __len__(self) -> int:
+        return len(self._free)

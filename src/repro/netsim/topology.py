@@ -16,7 +16,7 @@ from typing import Callable, List, Optional
 from .engine import Simulator
 from .flow import Demux, ReceiverProtocol, SenderProtocol
 from .link import DelayLine
-from .packet import Packet
+from .packet import Packet, PacketPool
 
 
 @dataclass
@@ -29,6 +29,20 @@ class FlowHandle:
     rtt: float
     start_at: float
     stop_at: Optional[float] = None
+
+
+def pooled_ack_sink(on_ack: Callable[[Packet], None],
+                    pool: PacketPool) -> Callable[[Packet], None]:
+    """Wrap a sender's ``on_ack`` so every ACK returns to ``pool`` after
+    the handler runs.  Safe exactly because the ACK is dead once the
+    handler returns: nothing downstream of ``on_ack`` holds it."""
+    release = pool.release
+
+    def deliver(packet: Packet) -> None:
+        on_ack(packet)
+        release(packet)
+
+    return deliver
 
 
 class Dumbbell:
@@ -45,14 +59,22 @@ class Dumbbell:
         Base round-trip propagation delay for flows that do not override it.
         Half is applied on the forward access path (before the bottleneck)
         and half on the reverse acknowledgement path.
+    ack_pool:
+        When True, each flow gets a per-flow acknowledgement freelist:
+        ACKs are recycled after the sender's ``on_ack`` returns.  Leave
+        off (the default) when anything on the reverse path retains
+        packet references across time — e.g. fault injectors that delay,
+        duplicate or replay ACKs.
     """
 
-    def __init__(self, sim: Simulator, bottleneck, default_rtt: float = 0.05):
+    def __init__(self, sim: Simulator, bottleneck, default_rtt: float = 0.05,
+                 ack_pool: bool = False):
         if default_rtt < 0:
             raise ValueError("default_rtt must be non-negative")
         self.sim = sim
         self.bottleneck = bottleneck
         self.default_rtt = default_rtt
+        self.ack_pool = ack_pool
         self.demux = Demux()
         self.bottleneck.dst = self.demux
         self.flows: List[FlowHandle] = []
@@ -68,7 +90,13 @@ class Dumbbell:
             raise ValueError("rtt must be non-negative")
 
         forward_access = DelayLine(self.sim, rtt / 2.0, dst=self.bottleneck.send)
-        reverse_path = DelayLine(self.sim, rtt / 2.0, dst=sender.on_ack)
+        if self.ack_pool:
+            pool = PacketPool()
+            receiver.ack_pool = pool
+            ack_sink = pooled_ack_sink(sender.on_ack, pool)
+        else:
+            ack_sink = sender.on_ack
+        reverse_path = DelayLine(self.sim, rtt / 2.0, dst=ack_sink)
 
         sender.attach(self.sim, forward_access.send)
         receiver.attach(self.sim, reverse_path.send)
@@ -95,14 +123,20 @@ class DirectPath:
 
     def __init__(self, sim: Simulator, bottleneck,
                  sender: SenderProtocol, receiver: ReceiverProtocol,
-                 rtt: float = 0.05):
+                 rtt: float = 0.05, ack_pool: bool = False):
         self.sim = sim
         self.bottleneck = bottleneck
         self.sender = sender
         self.receiver = receiver
 
         forward_access = DelayLine(sim, rtt / 2.0, dst=bottleneck.send)
-        reverse_path = DelayLine(sim, rtt / 2.0, dst=sender.on_ack)
+        if ack_pool:
+            pool = PacketPool()
+            receiver.ack_pool = pool
+            ack_sink = pooled_ack_sink(sender.on_ack, pool)
+        else:
+            ack_sink = sender.on_ack
+        reverse_path = DelayLine(sim, rtt / 2.0, dst=ack_sink)
         bottleneck.dst = receiver.on_data
 
         sender.attach(sim, forward_access.send)

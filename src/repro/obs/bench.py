@@ -273,7 +273,7 @@ def _run_verus_direct(workload: dict) -> int:
     sender = VerusSender(0, VerusConfig())
     receiver = VerusReceiver(0)
     DirectPath(sim, link, sender, receiver,
-               rtt=workload["rtt"]).run(workload["duration"])
+               rtt=workload["rtt"], ack_pool=True).run(workload["duration"])
     return receiver.packets_received
 
 
