@@ -55,6 +55,11 @@ class DelayProfiler:
         self._touched_time: Dict[int, float] = {}
         self._touch_counter = 0
         self._curve: Optional[InverseLookup] = None
+        #: Bumped whenever the point set mutates (sample folded in,
+        #: eviction, age pruning); lets interpolate() skip rebuilding a
+        #: curve for an unchanged profile.
+        self._revision = 0
+        self._curve_key: Optional[Tuple[int, Optional[float]]] = None
         self.interpolations = 0
         self.updates_frozen = False
         self._probe_steps = 0
@@ -75,6 +80,7 @@ class DelayProfiler:
         if delay <= 0:
             raise ValueError(f"delay must be positive (got {delay})")
         key = max(0, int(round(window)))
+        self._revision += 1
         self._touch_counter += 1
         self._touched[key] = self._touch_counter
         self._touched_time[key] = now
@@ -87,6 +93,7 @@ class DelayProfiler:
             self._evict()
 
     def _evict(self) -> None:
+        self._revision += 1
         stale = min(self._touched, key=self._touched.get)
         del self._points[stale]
         del self._touched[stale]
@@ -100,6 +107,8 @@ class DelayProfiler:
         # Never prune below the two points a curve needs.
         if len(self._points) - len(stale) < 2:
             stale = stale[: max(0, len(self._points) - 2)]
+        if stale:
+            self._revision += 1
         for key in stale:
             self._points.pop(key, None)
             self._touched.pop(key, None)
@@ -125,6 +134,14 @@ class DelayProfiler:
         """
         if now is not None:
             self._prune_aged(now)
+        # Rebuilding from an unchanged point set with the same anchor
+        # yields the identical curve, so reuse it.  The counter still
+        # advances: an interpolation *happened* as far as callers and
+        # telemetry are concerned, it just cost nothing.
+        cache_key = (self._revision, d_min)
+        if self._curve is not None and cache_key == self._curve_key:
+            self.interpolations += 1
+            return True
         points = dict(self._points)
         if d_min is not None and d_min > 0:
             points.setdefault(0, d_min)
@@ -135,6 +152,7 @@ class DelayProfiler:
         spline = PchipInterpolator(windows, delays)
         self._curve = InverseLookup(spline, grid_points=self.grid_points,
                                     max_extrapolation=1.0)
+        self._curve_key = cache_key
         self.interpolations += 1
         return True
 
@@ -170,7 +188,7 @@ class DelayProfiler:
         result = max(0.0, self._curve.largest_below(target_delay))
         lo, hi = self._curve.f.domain
         saturated = (result >= hi
-                     and target_delay > float(np.max(self._curve.grid_y)))
+                     and target_delay > self._curve.y_max)
         if saturated and allow_probe:
             self._probe_steps = min(self._probe_steps + 1, 1000)
             result = max(result, hi + min(2.0 ** self._probe_steps, 8.0))

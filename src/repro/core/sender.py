@@ -284,8 +284,27 @@ class VerusSender(SenderProtocol):
                 record.miss_deadline = deadline
                 heapq.heappush(self._miss_heap, (deadline, seq))
 
+    def _compact_miss_heap(self) -> None:
+        """Drop stale miss-heap entries (acknowledged or re-armed seqs).
+
+        Entries are lazily deleted — every re-arm pushes a fresh (deadline,
+        seq) pair and the old one becomes a corpse that ``_check_missing``
+        would skip on pop.  Under heavy reordering the corpses can dwarf
+        the live set, so the epoch sweep rebuilds the heap from the live
+        entries once they are outnumbered 4:1.
+        """
+        inflight = self._inflight
+        live = [entry for entry in self._miss_heap
+                if (record := inflight.get(entry[1])) is not None
+                and record.miss_deadline == entry[0]]
+        heapq.heapify(live)
+        self._miss_heap = live
+
     def _check_missing(self) -> None:
         """Fire expired reordering timers (called from the epoch tick)."""
+        heap = self._miss_heap
+        if len(heap) > 64 and len(heap) > 4 * len(self._inflight):
+            self._compact_miss_heap()
         while self._miss_heap and self._miss_heap[0][0] <= self.now:
             deadline, seq = heapq.heappop(self._miss_heap)
             record = self._inflight.get(seq)

@@ -10,6 +10,7 @@ admissible abscissa, with linear extrapolation beyond the explored region.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Optional
 
 import numpy as np
@@ -44,30 +45,50 @@ class InverseLookup:
         self.grid_x = np.linspace(lo, hi, grid_points)
         self.grid_y = np.asarray(interpolator(self.grid_x), dtype=float)
         self.max_extrapolation = max_extrapolation
+        # Query acceleration, precomputed once per (re)build: the suffix
+        # minimum S[k] = min(grid_y[k:]) is non-decreasing, and the
+        # largest i with grid_y[i] <= target equals the largest k with
+        # S[k] <= target — so the per-query O(n) admissibility scan
+        # becomes one bisect.  Plain Python lists keep the per-query
+        # indexing out of numpy scalar overhead; the float values are
+        # exactly the grid values.
+        self._suffix_min = np.minimum.accumulate(
+            self.grid_y[::-1])[::-1].tolist()
+        self._gx = self.grid_x.tolist()
+        self._gy = self.grid_y.tolist()
+        self._lo = float(lo)
+        self._hi = float(hi)
+        #: Largest delay on the evaluation grid (profile ceiling).
+        self.y_max = float(np.max(self.grid_y))
 
     def largest_below(self, target: float) -> float:
         """Largest x with f(x) <= target (grid resolution)."""
-        lo, hi = self.f.domain
-        admissible = self.grid_y <= target
-        if not np.any(admissible):
-            return float(lo)
-        last = int(np.flatnonzero(admissible)[-1])
-        if last < self.grid_x.size - 1:
+        suffix_min = self._suffix_min
+        if suffix_min[0] > target:
+            return self._lo
+        last = bisect_right(suffix_min, target) - 1
+        gx = self._gx
+        if last < len(gx) - 1:
             # Refine between the last admissible grid point and the next:
             # linear cut of the segment for sub-grid resolution.
-            x0, x1 = self.grid_x[last], self.grid_x[last + 1]
-            y0, y1 = self.grid_y[last], self.grid_y[last + 1]
+            gy = self._gy
+            x0, x1 = gx[last], gx[last + 1]
+            y0, y1 = gy[last], gy[last + 1]
             if y1 > y0:
                 frac = (target - y0) / (y1 - y0)
-                return float(x0 + np.clip(frac, 0.0, 1.0) * (x1 - x0))
-            return float(x0)
+                if frac < 0.0:
+                    frac = 0.0
+                elif frac > 1.0:
+                    frac = 1.0
+                return x0 + frac * (x1 - x0)
+            return x0
         # Target is above the entire profile: extrapolate along the end slope.
         slope = self._end_slope()
         if slope <= 0:
-            return float(hi)
-        overshoot = (target - self.grid_y[-1]) / slope
-        width = hi - lo
-        return float(hi + min(overshoot, self.max_extrapolation * width))
+            return self._hi
+        overshoot = (target - self._gy[-1]) / slope
+        limit = self.max_extrapolation * (self._hi - self._lo)
+        return self._hi + (overshoot if overshoot < limit else limit)
 
     def _end_slope(self) -> float:
         y_hi = self.grid_y[-1]

@@ -204,16 +204,19 @@ def _pchip_slopes(x: np.ndarray, y: np.ndarray) -> np.ndarray:
         d[:] = delta[0]
         return d
     # Interior: weighted harmonic mean when secants agree in sign, else 0.
-    # (errstate: near-subnormal secants can overflow the intermediate
-    # division; the harmonic mean then correctly collapses to ~0.)
-    with np.errstate(over="ignore", divide="ignore"):
-        for i in range(1, n - 1):
-            if delta[i - 1] * delta[i] <= 0:
-                d[i] = 0.0
-            else:
-                w1 = 2 * h[i] + h[i - 1]
-                w2 = h[i] + 2 * h[i - 1]
-                d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i])
+    # Vectorised over the interior knots; each elementwise operation is
+    # the same IEEE double op the scalar loop performed, so the results
+    # are bit-identical.  (errstate: near-subnormal secants can overflow
+    # the intermediate division — and the masked-out sign-disagreement
+    # lanes may produce inf/nan before ``where`` discards them; the
+    # harmonic mean then correctly collapses to ~0.)
+    with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+        d_lo = delta[:-1]          # delta[i-1]
+        d_hi = delta[1:]           # delta[i]
+        w1 = 2 * h[1:] + h[:-1]
+        w2 = h[1:] + 2 * h[:-1]
+        d[1:-1] = np.where(d_lo * d_hi <= 0, 0.0,
+                           (w1 + w2) / (w1 / d_lo + w2 / d_hi))
     d[0] = _edge_slope(h[0], h[1], delta[0], delta[1])
     d[-1] = _edge_slope(h[-1], h[-2], delta[-1], delta[-2])
     return d
