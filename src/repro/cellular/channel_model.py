@@ -172,38 +172,69 @@ class CellularChannelModel:
                   if p.fading_theta > 0 else p.fading_sigma ** 2)
         fade_correction = math.exp(0.5 * (ou_var + p.fast_fading_sigma ** 2))
 
+        # Hot loop: ~1000 iterations per simulated second.  Hoist every
+        # per-iteration attribute/property lookup, index the precomputed
+        # paths as plain Python scalars (.tolist() — identical doubles,
+        # no numpy-scalar boxing), and inline _draw_burst.  The RNG draw
+        # sequence and every arithmetic expression are those of the
+        # straightforward loop, so traces are bit-identical; note the
+        # share draw was already short-circuited away when share == 1.0,
+        # which is why skipping _user_share entirely without competitors
+        # leaves the stream untouched.
+        mean_burst_nominal = p.mean_burst_packets
+        burst_sigma = p.burst_sigma
+        fast_sigma = p.fast_fading_sigma
+        rng_random = rng.random
+        rng_normal = rng.normal
+        rng_uniform = rng.uniform
+        rng_lognormal = rng.lognormal
+        exp = math.exp
+        log = math.log
+        append = times.append
+        log_fade_l = log_fade.tolist()
+        in_outage_l = in_outage.tolist()
+        half_tti = TTI_SECONDS * 0.5
+        has_competitors = bool(competitors)
+
         for i in range(n_ttis):
-            t = i * TTI_SECONDS
-            if in_outage[i]:
+            if in_outage_l[i]:
                 on = False
                 continue
             # Markov state update
             if on:
-                if rng.random() < q_off:
+                if rng_random() < q_off:
                     on = False
             else:
-                if rng.random() < q_on:
+                if rng_random() < q_on:
                     on = True
             if not on:
                 continue
-            share = self._user_share(t, base_capacity, competitors)
-            if share < 1.0 and rng.random() > share:
-                # The competitor won this TTI.
-                continue
-            fade = (math.exp(log_fade[i])
-                    * math.exp(rng.normal(0.0, p.fast_fading_sigma))
+            t = i * TTI_SECONDS
+            if has_competitors:
+                share = self._user_share(t, base_capacity, competitors)
+                if share < 1.0 and rng_random() > share:
+                    # The competitor won this TTI.
+                    continue
+            fade = (exp(log_fade_l[i])
+                    * exp(rng_normal(0.0, fast_sigma))
                     / fade_correction)
-            mean_burst = p.mean_burst_packets * fade
-            k = self._draw_burst(mean_burst)
+            mean_burst = mean_burst_nominal * fade
+            # _draw_burst, inlined (lognormal size + randomised rounding).
+            if mean_burst <= 0:
+                continue
+            mu = log(mean_burst) - 0.5 * burst_sigma * burst_sigma
+            value = rng_lognormal(mu, burst_sigma)
+            base = int(value)
+            k = base + (1 if rng_random() < value - base else 0)
             if k <= 0:
                 continue
             # Sub-TTI jitter of the burst start, then back-to-back packets
             # at the peak radio rate.
-            start = t + rng.uniform(0.0, TTI_SECONDS * 0.5)
+            start = t + rng_uniform(0.0, half_tti)
             for j in range(k):
                 ts = start + j * serialize_dt
                 if ts < duration:
-                    times.append(ts)
+                    append(ts)
 
         arr = np.asarray(sorted(times), dtype=float)
         if arr.size == 0:

@@ -90,6 +90,17 @@ class TraceLink:
         self._origin = sim.now
         self._index = 0
         self._cycle = 0
+        # Per-opportunity schedule math, precomputed once: the trace
+        # timestamps as plain Python floats (identical doubles to the
+        # numpy elements), the loop period, and the current cycle's base
+        # offset ``origin + cycle * period``.  The base is recomputed by
+        # multiplication at each wraparound — never accumulated — so the
+        # instant of opportunity i in cycle c is exactly the value the
+        # per-call expression used to produce.
+        self._times_list = times.tolist()
+        self._n = len(self._times_list)
+        self._period = float(times[-1] - times[0]) + self.gap_s
+        self._cycle_base = self._origin
         self.delivered = 0
         self.bytes_delivered = 0
         self.wasted_opportunities = 0
@@ -110,16 +121,16 @@ class TraceLink:
         cycle continues ``gap_s`` after the last opportunity instead of
         replaying the (possibly large) lead-in before the first one.
         """
-        return float(self.times[-1] - self.times[0]) + self.gap_s
+        return self._period
 
     def _next_opportunity_time(self) -> Optional[float]:
-        if self._index >= self.times.size:
+        if self._index >= self._n:
             if not self.loop:
                 return None
             self._index = 0
             self._cycle += 1
-        return (self._origin + self._cycle * self._loop_period()
-                + float(self.times[self._index]))
+            self._cycle_base = self._origin + self._cycle * self._period
+        return self._cycle_base + self._times_list[self._index]
 
     def _schedule_next(self) -> None:
         when = self._next_opportunity_time()
@@ -131,18 +142,33 @@ class TraceLink:
     def _opportunity(self) -> None:
         self._index += 1
         budget = self.bytes_per_opportunity
+        queue = self.queue
+        now = self.sim.now
         served_any = False
         while budget > 0:
-            head = self.queue.peek()
+            head = queue.peek()
             if head is None or head.size > budget:
                 break
-            packet = self.queue.pop(self.sim.now)
+            packet = queue.pop(now)
             budget -= packet.size
             served_any = True
             self._deliver(packet)
         if not served_any:
             self.wasted_opportunities += 1
-        self._schedule_next()
+        # Inlined _schedule_next: the common case (more opportunities in
+        # the current cycle, strictly-future instant) is one list index
+        # and one add per event.
+        i = self._index
+        if i >= self._n:
+            if not self.loop:
+                return
+            self._index = i = 0
+            self._cycle += 1
+            self._cycle_base = self._origin + self._cycle * self._period
+        when = self._cycle_base + self._times_list[i]
+        if when < now:
+            when = now
+        self.sim.call_at(when, self._opportunity)
 
     def _deliver(self, packet: Packet) -> None:
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
