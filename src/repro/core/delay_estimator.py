@@ -46,6 +46,15 @@ class DelayEstimator:
         self.d_max: Optional[float] = None
         self.d_max_prev: Optional[float] = None
         self._min_buckets: "OrderedDict[int, float]" = OrderedDict()
+        #: Bucket index the last expiry sweep ran for.  Stale buckets can
+        #: only appear when the current bucket advances, so add_sample's
+        #: per-ACK sweep is skipped while time stays within one bucket.
+        self._expired_for: Optional[int] = None
+        #: Cached min over the buckets; ``d_min`` is read on every
+        #: slow-start acknowledgement and every epoch, while the bucket
+        #: set only changes on a new per-bucket minimum or an expiry.
+        self._d_min_cache: Optional[float] = None
+        self._d_min_dirty = True
         self._lifetime_min: Optional[float] = None
         self.srtt: Optional[float] = None
         self._srtt_gain = 0.125
@@ -64,6 +73,7 @@ class DelayEstimator:
             if current is None or delay < current:
                 self._min_buckets[bucket] = delay
                 self._min_buckets.move_to_end(bucket)
+                self._d_min_dirty = True
             self._expire_buckets(bucket)
         if self._lifetime_min is None or delay < self._lifetime_min:
             self._lifetime_min = delay
@@ -73,8 +83,13 @@ class DelayEstimator:
             self.srtt += self._srtt_gain * (delay - self.srtt)
 
     def _expire_buckets(self, current_bucket: int) -> None:
+        if current_bucket == self._expired_for:
+            return
+        self._expired_for = current_bucket
         horizon = current_bucket - int(self.min_window / self.BUCKET_SECONDS)
         stale = [b for b in self._min_buckets if b < horizon]
+        if stale:
+            self._d_min_dirty = True
         for b in stale:
             del self._min_buckets[b]
 
@@ -84,7 +99,10 @@ class DelayEstimator:
         windowing is disabled or the window holds no samples, e.g. across
         a long outage)."""
         if self.min_window is not None and self._min_buckets:
-            return min(self._min_buckets.values())
+            if self._d_min_dirty:
+                self._d_min_cache = min(self._min_buckets.values())
+                self._d_min_dirty = False
+            return self._d_min_cache
         return self._lifetime_min
 
     @property
@@ -104,6 +122,7 @@ class DelayEstimator:
             raise ValueError("floor must be positive")
         self._min_buckets.clear()
         self._min_buckets[int(now / self.BUCKET_SECONDS)] = value
+        self._d_min_dirty = True
 
     def end_epoch(self) -> float:
         """Close the current epoch; returns ∆D_i (eq. 3).

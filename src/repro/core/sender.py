@@ -43,9 +43,12 @@ NORMAL = "normal"
 RECOVERY = "recovery"
 
 
-@dataclass
+@dataclass(slots=True)
 class SentRecord:
-    """Sender-side state for one outstanding packet."""
+    """Sender-side state for one outstanding packet.
+
+    Slotted: one record exists per in-flight packet, created on every
+    transmission and touched on every acknowledgement."""
 
     seq: int
     sent_time: float
@@ -161,11 +164,13 @@ class VerusSender(SenderProtocol):
             return False
         seq = self._next_seq
         self._next_seq += 1
+        now = self.now
+        window = self.window
         packet = Packet(flow_id=self.flow_id, seq=seq,
-                        size=self.config.packet_bytes, sent_time=self.now,
-                        window_at_send=self.window)
-        self._inflight[seq] = SentRecord(seq=seq, sent_time=self.now,
-                                         window_at_send=self.window)
+                        size=self.config.packet_bytes, sent_time=now,
+                        window_at_send=window)
+        self._inflight[seq] = SentRecord(seq=seq, sent_time=now,
+                                         window_at_send=window)
         self.send(packet)
         return True
 
@@ -225,19 +230,23 @@ class VerusSender(SenderProtocol):
         batch = None
         if packet.payload is not None:
             batch = packet.payload.get("acked")
-        for seq in ([packet.ack_seq] if batch is None else batch):
-            self._handle_ack_seq(int(seq))
+        if batch is None:
+            self._handle_ack_seq(int(packet.ack_seq))
+        else:
+            for seq in batch:
+                self._handle_ack_seq(int(seq))
 
     def _handle_ack_seq(self, seq: int) -> None:
         record = self._inflight.pop(seq, None)
         if record is None:
             return  # duplicate or stale acknowledgement
         self._pending_rtx.discard(seq)
-        self._last_progress = self.now
+        now = self.now
+        self._last_progress = now
         self._rto_backoff = 1.0
         self._check_transfer_complete()
 
-        delay = self.now - record.sent_time
+        delay = now - record.sent_time
         if delay > 0:
             # Delay estimator takes retransmission samples too (without
             # them a heavy loss episode freezes D_max/srtt and deadlocks
@@ -250,12 +259,12 @@ class VerusSender(SenderProtocol):
             plausible = (not record.retransmission
                          or floor is None or delay >= 0.999 * floor)
             if plausible:
-                self.delay_estimator.add_sample(delay, now=self.now)
+                self.delay_estimator.add_sample(delay, now=now)
             if not record.retransmission:
                 # The profile only learns from first transmissions, whose
                 # (window, delay) pairing is unambiguous.
                 self.profiler.add_sample(record.window_at_send, delay,
-                                         now=self.now)
+                                         now=now)
 
         self._advance_expected()
         self._arm_gap_timers(seq)

@@ -202,8 +202,9 @@ class ReceiverProtocol:
         self.packets_received += 1
         self.bytes_received += packet.size
         if self.record:
-            delay = self.now - packet.sent_time
-            self.deliveries.append((self.now, packet.seq, delay, packet.size))
+            now = self.now
+            self.deliveries.append((now, packet.seq, now - packet.sent_time,
+                                    packet.size))
 
 
 class Demux:
