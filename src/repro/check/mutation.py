@@ -111,6 +111,116 @@ def _conservation_leak():
     return _patched(Link, "_deliver", _deliver)
 
 
+def _stale_interpolation_cache():
+    """Perf defect: profile updates stop invalidating the interpolation
+    cache.  The revision-keyed cache in DelayProfiler.interpolate() then
+    keeps serving the old curve while fresh (window, delay) samples pile
+    into the point set unseen — the window lookup steers on stale data
+    until an unrelated key component (the d_min anchor) happens to move."""
+    from ..core.delay_profiler import DelayProfiler
+
+    def add_sample(self, window, delay, now=0.0):
+        if self.updates_frozen:
+            return
+        if delay <= 0:
+            raise ValueError(f"delay must be positive (got {delay})")
+        key = max(0, int(round(window)))
+        # Seeded defect: the revision bump is missing here.
+        self._touch_counter += 1
+        self._touched[key] = self._touch_counter
+        self._touched_time[key] = now
+        current = self._points.get(key)
+        if current is None:
+            self._points[key] = delay
+        else:
+            self._points[key] = (1 - self.ewma) * current + self.ewma * delay
+        if len(self._points) > self.max_points:
+            self._evict()
+
+    return _patched(DelayProfiler, "add_sample", add_sample)
+
+
+def _dirty_freelist_ack():
+    """Perf defect: the ACK freelist hands back a recycled packet without
+    reassigning ``ack_seq``.  First-allocation ACKs are correct, so the
+    bug only appears once recycling starts — every pooled ACK then
+    acknowledges whatever sequence its previous life did."""
+    from ..netsim.packet import Packet, PacketPool
+
+    def acquire_ack(self, data, now, ack_seq, size):
+        free = self._free
+        if free:
+            self.reused += 1
+            ack = free.pop()
+            ack.flow_id = data.flow_id
+            ack.seq = data.seq
+            ack.size = size
+            ack.sent_time = now
+            ack.is_ack = True
+            # Seeded defect: ack.ack_seq keeps its previous-life value.
+            ack.echo_sent_time = data.sent_time
+            ack.window_at_send = data.window_at_send
+            ack.retransmission = data.retransmission
+            ack.enqueue_time = 0.0
+            ack.ecn = False
+            ack.payload = None
+            return ack
+        self.allocated += 1
+        return Packet(
+            flow_id=data.flow_id,
+            seq=data.seq,
+            size=size,
+            sent_time=now,
+            is_ack=True,
+            ack_seq=ack_seq,
+            echo_sent_time=data.sent_time,
+            window_at_send=data.window_at_send,
+            retransmission=data.retransmission,
+        )
+
+    return _patched(PacketPool, "acquire_ack", acquire_ack)
+
+
+def _tracelink_wrap_off_by_one():
+    """Perf defect: the wraparound branch advances the replay cycle
+    counter twice — exactly what happens if the inlined fast path *and*
+    the retained ``_next_opportunity_time`` helper each bump ``_cycle``.
+    Every loop then skips one full trace period of opportunities, so the
+    link goes silent for a period after each seam."""
+    from ..netsim.trace_link import TraceLink
+
+    def _opportunity(self):
+        self._index += 1
+        budget = self.bytes_per_opportunity
+        queue = self.queue
+        now = self.sim.now
+        served_any = False
+        while budget > 0:
+            head = queue.peek()
+            if head is None or head.size > budget:
+                break
+            packet = queue.pop(now)
+            budget -= packet.size
+            served_any = True
+            self._deliver(packet)
+        if not served_any:
+            self.wasted_opportunities += 1
+        i = self._index
+        if i >= self._n:
+            if not self.loop:
+                return
+            self._index = i = 0
+            # Seeded defect: the cycle counter is bumped twice at the seam.
+            self._cycle += 2
+            self._cycle_base = self._origin + self._cycle * self._period
+        when = self._cycle_base + self._times_list[i]
+        if when < now:
+            when = now
+        self.sim.call_at(when, self._opportunity)
+
+    return _patched(TraceLink, "_opportunity", _opportunity)
+
+
 def _cubic_no_decrease():
     """Cubic's loss response disabled: ssthresh is set to the pre-loss
     window, so a congestion signal no longer reduces the rate."""
@@ -138,6 +248,15 @@ MUTANTS: List[Mutant] = [
     Mutant(name="cubic-no-decrease", protocol="cubic",
            description="Cubic multiplicative decrease disabled",
            apply=_cubic_no_decrease),
+    Mutant(name="stale-interpolation-cache", protocol="verus",
+           description="profile updates stop invalidating the curve cache",
+           apply=_stale_interpolation_cache),
+    Mutant(name="dirty-freelist-ack", protocol="verus",
+           description="recycled pooled ACK keeps its previous ack_seq",
+           apply=_dirty_freelist_ack),
+    Mutant(name="tracelink-wrap-off-by-one", protocol="verus-trace",
+           description="trace replay skips each cycle's first opportunity",
+           apply=_tracelink_wrap_off_by_one),
 ]
 
 

@@ -25,6 +25,7 @@ from ..netsim.engine import PeriodicTimer, Simulator
 from ..netsim.link import DelayLine, LinkPhase, LinkSchedule, VariableLink
 from ..netsim.packet import PacketPool
 from ..netsim.queues import DropTailQueue
+from ..netsim.trace_link import TraceLink
 from ..netsim.topology import pooled_ack_sink
 from ..netsim.tracing import FlowTracer
 from ..tcp.base import TcpSender
@@ -37,8 +38,20 @@ from .monitors import (
 )
 from .report import InvariantReport
 
-#: Protocols with a pinned check scenario and a golden trace.
-CHECK_PROTOCOLS = ("verus", "cubic", "vegas")
+#: Scenarios with a pinned definition and a golden trace.  Most entries
+#: are protocol names; "verus-trace" pins the same Verus sender to a
+#: looped cellular-trace bottleneck instead of the schedule-driven link,
+#: so the trace-replay machinery (wraparound included) sits under the
+#: golden oracle too.
+CHECK_PROTOCOLS = ("verus", "cubic", "vegas", "verus-trace")
+
+#: Scenario name -> flow protocol, for scenario names that pin a variant
+#: of one protocol to a different network substrate.
+_FLOW_PROTOCOLS = {"verus-trace": "verus"}
+
+
+def _flow_protocol(scenario_name: str) -> str:
+    return _FLOW_PROTOCOLS.get(scenario_name, scenario_name)
 
 #: Capacity multipliers applied to ``rate_bps``, one link phase each.
 #: The repeating down/up pattern forces the window to track both
@@ -61,6 +74,10 @@ class CheckScenario:
     sample_interval: float = 0.1
     drain: float = 2.0
     options: Tuple[Tuple[str, Any], ...] = ()
+    #: "variable" (schedule-driven VariableLink) or "trace" (looped
+    #: TraceLink over a short pinned cellular trace, so replay
+    #: wraparound happens many times inside one audited run).
+    bottleneck: str = "variable"
 
     def __post_init__(self) -> None:
         if isinstance(self.options, dict):
@@ -68,7 +85,7 @@ class CheckScenario:
                                tuple(sorted(self.options.items())))
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "protocol": self.protocol,
             "seed": self.seed,
             "duration": self.duration,
@@ -81,6 +98,11 @@ class CheckScenario:
             "drain": self.drain,
             "options": {k: v for k, v in self.options},
         }
+        # Included only when non-default so every pre-existing scenario
+        # keeps its content address (and therefore its blessed golden).
+        if self.bottleneck != "variable":
+            payload["bottleneck"] = self.bottleneck
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CheckScenario":
@@ -105,8 +127,11 @@ def build_scenario(protocol: str, **overrides) -> CheckScenario:
     if protocol not in CHECK_PROTOCOLS:
         raise ValueError(f"no check scenario for {protocol!r}; "
                          f"choose from {CHECK_PROTOCOLS}")
-    options = {"r": 2.0} if protocol == "verus" else {}
+    options = {"r": 2.0} if _flow_protocol(protocol) == "verus" else {}
     params = dict(protocol=protocol, options=options)
+    if protocol == "verus-trace":
+        params["bottleneck"] = "trace"
+        params["rate_bps"] = 2e6
     params.update(overrides)
     return CheckScenario(**params)
 
@@ -148,22 +173,51 @@ def _setpoint_of(sender) -> float:
     return 0.0
 
 
+#: Span of the pinned replay trace for "trace" bottleneck scenarios.
+#: Deliberately short relative to ``duration`` + ``drain`` so the looped
+#: replay wraps around many times inside one audited run — the seam
+#: arithmetic (cycle base, continuation gap) is then squarely inside the
+#: golden oracle's blast radius.
+TRACE_SPAN_SECONDS = 1.5
+
+
+def _check_trace(scenario: CheckScenario) -> np.ndarray:
+    """The pinned delivery-opportunity trace for a trace-bottleneck
+    scenario: derived only from scenario fields (``rate_bps`` sets the
+    trace's mean rate), so the scenario's content address covers it.
+    The rate is chosen low enough that the flow saturates the link and
+    the queue stays loaded — replay-schedule defects then perturb
+    delivery timing directly instead of hiding behind an idle link."""
+    from ..cellular import generate_scenario_trace
+
+    return generate_scenario_trace("city_stationary",
+                                   duration=TRACE_SPAN_SECONDS,
+                                   technology="3g", seed=scenario.seed,
+                                   mean_rate_bps=scenario.rate_bps)
+
+
 def run_audited(scenario: CheckScenario) -> AuditedRun:
     """Run ``scenario`` with every invariant monitor attached."""
     sim = Simulator()
     rng = np.random.default_rng(scenario.seed)
-    spec = FlowSpec(protocol=scenario.protocol,
+    spec = FlowSpec(protocol=_flow_protocol(scenario.protocol),
                     options=dict(scenario.options))
     sender, receiver = make_endpoints(spec, 0)
 
     queue = DropTailQueue(capacity_bytes=scenario.queue_bytes)
-    phases = [LinkPhase(duration=scenario.phase_seconds,
-                        rate_bps=scenario.rate_bps * factor,
-                        delay=scenario.rtt / 2.0,
-                        loss_rate=scenario.loss_rate)
-              for factor in PHASE_FACTORS]
-    link = VariableLink(sim, LinkSchedule(phases, repeat=True),
-                        queue=queue, rng=rng, name="check-bottleneck")
+    if scenario.bottleneck == "trace":
+        link = TraceLink(sim, _check_trace(scenario), queue=queue,
+                         delay=scenario.rtt / 2.0, loop=True,
+                         loss_rate=scenario.loss_rate, rng=rng,
+                         name="check-bottleneck")
+    else:
+        phases = [LinkPhase(duration=scenario.phase_seconds,
+                            rate_bps=scenario.rate_bps * factor,
+                            delay=scenario.rtt / 2.0,
+                            loss_rate=scenario.loss_rate)
+                  for factor in PHASE_FACTORS]
+        link = VariableLink(sim, LinkSchedule(phases, repeat=True),
+                            queue=queue, rng=rng, name="check-bottleneck")
 
     # Forward path: sender -> tap -> bottleneck -> tap -> receiver.
     # Reverse path: receiver -> tap -> delay line -> tap -> sender.

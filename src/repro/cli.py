@@ -447,7 +447,8 @@ def _run_bench(args) -> int:
 
     if args.compare and args.against:
         try:
-            rows = compare(load_bench(args.compare), load_bench(args.against))
+            rows = compare(load_bench(args.compare), load_bench(args.against),
+                           max_regression=args.max_regression)
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -482,7 +483,8 @@ def _run_bench(args) -> int:
         rc = 1
     if args.compare:
         try:
-            rows = compare(load_bench(args.compare), doc)
+            rows = compare(load_bench(args.compare), doc,
+                           max_regression=args.max_regression)
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -1088,6 +1090,11 @@ def main(argv=None) -> int:
     bench.add_argument("--warn-only", action="store_true",
                        help="report regressions without failing the exit "
                             "code")
+    bench.add_argument("--max-regression", type=float, default=None,
+                       metavar="FRAC",
+                       help="cap every benchmark's regression band at this "
+                            "fraction of the baseline (the CI ratchet uses "
+                            "0.10: fail anything >10%% slower)")
     bench.add_argument("--profile", action="append", default=None,
                        metavar="HOTPATH",
                        help="cProfile a named hot path (engine, interp, "

@@ -645,14 +645,20 @@ def load_bench(path) -> dict:
 # ----------------------------------------------------------------------
 # Compare
 # ----------------------------------------------------------------------
-def compare(baseline: dict, current: dict) -> List[dict]:
+def compare(baseline: dict, current: dict,
+            max_regression: Optional[float] = None) -> List[dict]:
     """Diff two BENCH docs benchmark-by-benchmark.
 
     Statuses: ``ok`` (within band), ``regression`` / ``improved``
     (outside band), ``workload-changed`` (hashes differ — timings are
     incomparable), ``missing`` (in baseline only), ``new`` (in current
     only).  The tolerance comes from the *baseline* file so the gate is
-    pinned with the numbers it protects.
+    pinned with the numbers it protects; ``max_regression`` caps every
+    benchmark's regression band at that fraction (the CI ratchet: with
+    0.10, anything more than 10% slower than the committed baseline is a
+    regression no matter how lax the per-benchmark band is).  The
+    *improved* threshold keeps using the per-benchmark band so a ratchet
+    run doesn't spam "improved" for ordinary machine noise.
     """
     rows: List[dict] = []
     base_benches = baseline.get("benchmarks", {})
@@ -673,11 +679,14 @@ def compare(baseline: dict, current: dict) -> List[dict]:
         else:
             tolerance = float(base.get("tolerance",
                                        DEFAULT_TOLERANCE["micro"]))
-            row["tolerance"] = tolerance
+            regression_band = tolerance
+            if max_regression is not None:
+                regression_band = min(regression_band, float(max_regression))
+            row["tolerance"] = regression_band
             if base["seconds"] > 0:
                 ratio = cur["seconds"] / base["seconds"]
                 row["ratio"] = round(ratio, 4)
-                if ratio > 1.0 + tolerance:
+                if ratio > 1.0 + regression_band:
                     row["status"] = "regression"
                 elif ratio < 1.0 - tolerance:
                     row["status"] = "improved"

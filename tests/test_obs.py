@@ -337,6 +337,37 @@ class TestBench:
         bad = regressions(compare(base_doc, cur_doc))
         assert [r["name"] for r in bad] == ["b"]
 
+    def test_max_regression_caps_the_band(self):
+        """The CI ratchet: --max-regression tightens every regression
+        band without widening any, and leaves 'improved' on the
+        per-benchmark band so noise isn't reported as a speedup."""
+        base_doc = {
+            "benchmarks": {
+                "lax": {"seconds": 1.0, "workload_hash": "x",
+                        "tolerance": 0.5},
+                "tight": {"seconds": 1.0, "workload_hash": "x",
+                          "tolerance": 0.05},
+            },
+        }
+        cur_doc = {
+            "benchmarks": {
+                "lax": {"seconds": 1.2, "workload_hash": "x"},
+                "tight": {"seconds": 1.08, "workload_hash": "x"},
+            },
+        }
+        plain = {r["name"]: r["status"] for r in compare(base_doc, cur_doc)}
+        assert plain == {"lax": "ok", "tight": "regression"}
+        capped = {r["name"]: r["status"]
+                  for r in compare(base_doc, cur_doc, max_regression=0.10)}
+        assert capped == {"lax": "regression", "tight": "regression"}
+        faster = {"benchmarks": {
+            "lax": {"seconds": 0.4, "workload_hash": "x"},
+            "tight": {"seconds": 0.97, "workload_hash": "x"},
+        }}
+        improved = {r["name"]: r["status"]
+                    for r in compare(base_doc, faster, max_regression=0.10)}
+        assert improved == {"lax": "improved", "tight": "ok"}
+
 
 # ----------------------------------------------------------------------
 # Campaign timings rollup

@@ -455,8 +455,15 @@ class TestSoakAcceptance:
         injected hang, oom and crash ends with the hang killed by the
         watchdog, all three quarantined with repro commands, one bundle
         per signature, and a failing report."""
+        # Workers are forked, so they inherit this process's RSS; a
+        # fixed budget misclassifies the hang cell as [oom] whenever the
+        # parent (e.g. a full pytest run) has grown past it.  Budget
+        # relative to the parent instead: the hang cell stays under it,
+        # and the sized oom injection allocates past it either way.
+        from repro.resilience.watchdog import _rss_bytes
+        parent_mb = (_rss_bytes() or 0) // (1 << 20)
         spec = _spec(tmp_path, retries=1, stall_after=0.8,
-                     rss_limit_mb=150, timeout=30.0,
+                     rss_limit_mb=max(150, parent_mb + 100), timeout=30.0,
                      inject={0: {"mode": "hang"},
                              1: {"mode": "oom"},
                              2: {"mode": "crash"}})
