@@ -106,10 +106,28 @@ class RunResult:
 
 @dataclass
 class _InFlight:
-    index: int
-    attempts: int
+    #: ``(index, attempts)`` per chunk member, in submission order.
+    members: List[tuple]
     submitted: float
     deadline: Optional[float]
+
+
+def _run_chunk(task_fn: Callable[[Any], Any],
+               payloads: Sequence[Any]) -> List[tuple]:
+    """Worker-side chunk runner: execute each member payload in order,
+    timing it and catching its exception, so one future carries a whole
+    batch without one member's failure poisoning its siblings.
+    Module-level so :class:`ProcessPoolExecutor` can pickle it."""
+    markers = []
+    for payload in payloads:
+        started = time.monotonic()
+        try:
+            result = task_fn(payload)
+        except Exception as exc:
+            markers.append(("err", repr(exc), time.monotonic() - started))
+        else:
+            markers.append(("ok", result, time.monotonic() - started))
+    return markers
 
 
 def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
@@ -119,7 +137,8 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
               keys: Optional[Sequence[Optional[str]]] = None,
               resume: bool = True,
               progress: Optional[ProgressFn] = None,
-              supervisor: Optional[Any] = None) -> RunResult:
+              supervisor: Optional[Any] = None,
+              chunk: Optional[int] = None) -> RunResult:
     """Run ``task_fn`` over ``payloads`` and return per-task outcomes.
 
     ``task_fn`` must be a module-level callable (picklable) when
@@ -135,6 +154,15 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
     ``{index: reason}`` for kills since the last call (consumed when the
     pool breaks, to attribute the break), and ``release(index)`` is
     called whenever a task leaves flight.
+
+    ``chunk`` (pooled mode only) batches that many payloads per
+    submitted future to amortise pickling and future bookkeeping at
+    sweep scale.  ``None`` picks a size automatically (1 for small
+    grids).  Semantics stay per-task: each member is timed, retried and
+    supervised individually; a chunk's deadline is ``timeout`` times its
+    member count, and a timed-out multi-member chunk is split into
+    singleton requeues (no attempt burned) so a genuinely hung cell
+    times out terminally on its own.
     """
     n = len(payloads)
     if keys is None:
@@ -189,7 +217,8 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
                 finish(TaskOutcome(index=index, key=key, status="cached",
                                    result=record["result"]))
                 continue
-        pending.append((index, 0))
+        # (index, attempts, solo) — solo entries are dispatched alone.
+        pending.append((index, 0, False))
 
     if not pending:
         return RunResult([o for o in outcomes if o is not None], stats)
@@ -199,14 +228,14 @@ def run_tasks(payloads: Sequence[Any], task_fn: Callable[[Any], Any], *,
                     stats, finish)
     else:
         _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
-                  backoff, stats, finish, supervisor)
+                  backoff, stats, finish, supervisor, chunk)
     return RunResult([o for o in outcomes if o is not None], stats)
 
 
 def _run_serial(pending, payloads, keys, task_fn, retries, backoff,
                 stats, finish) -> None:
     while pending:
-        index, attempts = pending.popleft()
+        index, attempts, _solo = pending.popleft()
         started = time.monotonic()
         try:
             result = task_fn(payloads[index])
@@ -214,7 +243,7 @@ def _run_serial(pending, payloads, keys, task_fn, retries, backoff,
             if attempts < retries:
                 stats.retries += 1
                 time.sleep(backoff * (attempts + 1))
-                pending.appendleft((index, attempts + 1))
+                pending.appendleft((index, attempts + 1, False))
                 continue
             finish(TaskOutcome(index=index, key=keys[index], status="failed",
                                error=repr(exc), attempts=attempts + 1,
@@ -226,7 +255,8 @@ def _run_serial(pending, payloads, keys, task_fn, retries, backoff,
 
 
 def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
-              backoff, stats, finish, supervisor=None) -> None:
+              backoff, stats, finish, supervisor=None,
+              chunk=None) -> None:
     pool = ProcessPoolExecutor(max_workers=jobs)
     inflight: Dict[Any, _InFlight] = {}
     abandoned = 0   # timed-out futures whose workers are still busy
@@ -242,24 +272,44 @@ def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
         if supervisor is not None:
             supervisor.release(index)
 
+    def chunk_size() -> int:
+        if chunk is not None:
+            return max(1, chunk)
+        # Auto: batch only when the backlog dwarfs the worker count (~8
+        # waves per worker stay unbatched, so small grids keep per-task
+        # parallelism), capped to bound the blast radius of one chunk.
+        return max(1, min(16, len(pending) // (8 * jobs)))
+
     try:
         while pending or inflight:
             while freed:
                 if freed.popleft() == generation:
                     abandoned = max(0, abandoned - 1)
             # In-flight is capped at the worker count (minus any workers
-            # still burning on abandoned tasks), so a submitted task
+            # still burning on abandoned tasks), so a submitted chunk
             # starts at once and its deadline runs from submission.
             while pending and len(inflight) + abandoned < jobs:
-                index, attempts = pending.popleft()
+                size = chunk_size()
+                index, attempts, solo = pending.popleft()
+                members = [(index, attempts)]
+                if not solo:
+                    while len(members) < size and pending \
+                            and not pending[0][2]:
+                        nxt_index, nxt_attempts, _ = pending.popleft()
+                        members.append((nxt_index, nxt_attempts))
                 now = time.monotonic()
-                payload = payloads[index]
-                if supervisor is not None:
-                    payload = supervisor.wrap(index, attempts, payload)
-                future = pool.submit(task_fn, payload)
+                member_payloads = []
+                for m_index, m_attempts in members:
+                    payload = payloads[m_index]
+                    if supervisor is not None:
+                        payload = supervisor.wrap(m_index, m_attempts,
+                                                  payload)
+                    member_payloads.append(payload)
+                future = pool.submit(_run_chunk, task_fn, member_payloads)
                 inflight[future] = _InFlight(
-                    index=index, attempts=attempts, submitted=now,
-                    deadline=None if timeout is None else now + timeout)
+                    members=members, submitted=now,
+                    deadline=None if timeout is None
+                    else now + timeout * len(members))
             if not inflight:
                 # Every worker is burning on an abandoned task; idle
                 # until one frees up rather than busy-spinning.
@@ -282,68 +332,79 @@ def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
                              if supervisor is not None else {})
                 return kills
 
-            def casualty(info: _InFlight, elapsed: float) -> None:
-                """One in-flight task lost to a broken pool."""
-                release(info.index)
+            def casualty(m_index: int, m_attempts: int,
+                         elapsed: float) -> None:
+                """One in-flight chunk member lost to a broken pool."""
+                release(m_index)
                 blame = attributed_kills()
-                if info.index in blame:
+                if m_index in blame:
                     # The supervisor shot this task's worker: it alone
                     # consumes an attempt, with capped backoff.
-                    if info.attempts < retries:
+                    if m_attempts < retries:
                         stats.retries += 1
-                        time.sleep(min(backoff * (2 ** info.attempts),
+                        time.sleep(min(backoff * (2 ** m_attempts),
                                        KILL_BACKOFF_CAP))
-                        pending.append((info.index, info.attempts + 1))
+                        pending.append((m_index, m_attempts + 1, False))
                     else:
                         finish(TaskOutcome(
-                            index=info.index, key=keys[info.index],
-                            status="failed", error=blame[info.index],
-                            attempts=info.attempts + 1, seconds=elapsed))
+                            index=m_index, key=keys[m_index],
+                            status="failed", error=blame[m_index],
+                            attempts=m_attempts + 1, seconds=elapsed))
                 elif blame:
                     # Attributed break, innocent sibling: requeue free.
-                    pending.append((info.index, info.attempts))
+                    pending.append((m_index, m_attempts, False))
                 else:
-                    _requeue_or_fail(info, pending, keys, retries, stats,
-                                     finish, elapsed, "worker process died")
+                    _requeue_or_fail(m_index, m_attempts, pending, keys,
+                                     retries, stats, finish, elapsed,
+                                     "worker process died")
 
             for future in done:
                 info = inflight.pop(future)
                 elapsed = time.monotonic() - info.submitted
                 try:
-                    result = future.result()
+                    markers = future.result()
                 except BrokenProcessPool:
                     pool_broken = True
-                    casualty(info, elapsed)
+                    for m_index, m_attempts in info.members:
+                        casualty(m_index, m_attempts, elapsed)
                 except CancelledError:
                     # Only reachable when a breaking pool cancelled queued
                     # siblings; treat like any other casualty.
-                    release(info.index)
-                    _requeue_or_fail(info, pending, keys, retries, stats,
-                                     finish, elapsed, "cancelled by pool")
-                except Exception as exc:
-                    release(info.index)
-                    if info.attempts < retries:
-                        stats.retries += 1
-                        time.sleep(backoff * (info.attempts + 1))
-                        pending.append((info.index, info.attempts + 1))
-                    else:
-                        finish(TaskOutcome(
-                            index=info.index, key=keys[info.index],
-                            status="failed", error=repr(exc),
-                            attempts=info.attempts + 1, seconds=elapsed))
+                    for m_index, m_attempts in info.members:
+                        release(m_index)
+                        _requeue_or_fail(m_index, m_attempts, pending,
+                                         keys, retries, stats, finish,
+                                         elapsed, "cancelled by pool")
                 else:
-                    release(info.index)
-                    finish(TaskOutcome(
-                        index=info.index, key=keys[info.index], status="ok",
-                        result=result, attempts=info.attempts + 1,
-                        seconds=elapsed))
+                    # The chunk runner caught per-member exceptions, so a
+                    # future that resolves carries one marker per member.
+                    for (m_index, m_attempts), marker \
+                            in zip(info.members, markers):
+                        release(m_index)
+                        status, value, seconds = marker
+                        if status == "ok":
+                            finish(TaskOutcome(
+                                index=m_index, key=keys[m_index],
+                                status="ok", result=value,
+                                attempts=m_attempts + 1, seconds=seconds))
+                        elif m_attempts < retries:
+                            stats.retries += 1
+                            time.sleep(backoff * (m_attempts + 1))
+                            pending.append((m_index, m_attempts + 1, False))
+                        else:
+                            finish(TaskOutcome(
+                                index=m_index, key=keys[m_index],
+                                status="failed", error=value,
+                                attempts=m_attempts + 1, seconds=seconds))
             if pool_broken:
                 # Every sibling in flight is poisoned too: requeue them
                 # (the attributed offender — or, unattributed, each one,
                 # since any could be the killer — consumes an attempt)
                 # and rebuild the pool.
                 for future, info in list(inflight.items()):
-                    casualty(info, time.monotonic() - info.submitted)
+                    elapsed = time.monotonic() - info.submitted
+                    for m_index, m_attempts in info.members:
+                        casualty(m_index, m_attempts, elapsed)
                 inflight.clear()
                 abandoned = 0
                 generation += 1
@@ -357,33 +418,43 @@ def _run_pool(pending, payloads, keys, task_fn, jobs, timeout, retries,
                     if info.deadline is not None and now > info.deadline \
                             and not future.cancel():
                         # Still running: abandon it. The worker frees up
-                        # whenever the task eventually returns; its late
+                        # whenever the chunk eventually returns; its late
                         # result is discarded with the future.
                         del inflight[future]
                         abandoned += 1
-                        release(info.index)
                         future.add_done_callback(
                             lambda f, q=freed, g=generation:
                                 (_noteless(f), q.append(g)))
-                        finish(TaskOutcome(
-                            index=info.index, key=keys[info.index],
-                            status="timeout",
-                            error=f"timed out after {timeout:g}s",
-                            attempts=info.attempts + 1,
-                            seconds=now - info.submitted))
+                        if len(info.members) > 1:
+                            # No way to tell which member hung: requeue
+                            # every member alone without burning an
+                            # attempt; a genuinely hung cell then times
+                            # out terminally as a singleton.
+                            for m_index, m_attempts in info.members:
+                                release(m_index)
+                                pending.append((m_index, m_attempts, True))
+                        else:
+                            m_index, m_attempts = info.members[0]
+                            release(m_index)
+                            finish(TaskOutcome(
+                                index=m_index, key=keys[m_index],
+                                status="timeout",
+                                error=f"timed out after {timeout:g}s",
+                                attempts=m_attempts + 1,
+                                seconds=now - info.submitted))
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-def _requeue_or_fail(info: _InFlight, pending, keys, retries, stats,
-                     finish, elapsed: float, reason: str) -> None:
-    if info.attempts < retries:
+def _requeue_or_fail(index: int, attempts: int, pending, keys, retries,
+                     stats, finish, elapsed: float, reason: str) -> None:
+    if attempts < retries:
         stats.retries += 1
-        pending.append((info.index, info.attempts + 1))
+        pending.append((index, attempts + 1, False))
     else:
-        finish(TaskOutcome(index=info.index, key=keys[info.index],
+        finish(TaskOutcome(index=index, key=keys[index],
                            status="failed", error=reason,
-                           attempts=info.attempts + 1, seconds=elapsed))
+                           attempts=attempts + 1, seconds=elapsed))
 
 
 def _noteless(future) -> None:
@@ -420,7 +491,8 @@ def run_campaign(spec, *, jobs: int = 1,
                  timeout: Optional[float] = None,
                  retries: int = 1, backoff: float = 0.25,
                  collect_timings: bool = False,
-                 progress: Optional[ProgressFn] = None) -> CampaignResult:
+                 progress: Optional[ProgressFn] = None,
+                 chunk: Optional[int] = None) -> CampaignResult:
     """Expand a :class:`CampaignSpec` (or take a pre-expanded task list)
     and run every cell through the engine.
 
@@ -449,6 +521,6 @@ def run_campaign(spec, *, jobs: int = 1,
                     jobs=jobs, timeout=timeout, retries=retries,
                     backoff=backoff, store=store,
                     keys=[t.key() for t in tasks], resume=resume,
-                    progress=progress)
+                    progress=progress, chunk=chunk)
     return CampaignResult(tasks=tasks, outcomes=run.outcomes,
                           stats=run.stats, store=store)

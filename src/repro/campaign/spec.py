@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -216,6 +217,23 @@ class CampaignSpec:
         return tasks
 
 
+#: Per-worker-process memo of parsed corpus traces, keyed by
+#: ``(trace_file, trace_sha256)``.  A sweep hands every cell of a grid
+#: the same handful of pinned traces, so each worker parses and
+#: hash-verifies a given trace once instead of once per cell.  Entries
+#: carry the source file's stat signature: when the file on disk drifts
+#: mid-sweep the entry is discarded and the trace re-read and
+#: re-verified, so corpus mutation still fails loudly instead of being
+#: served from the memo.
+_TRACE_MEMO: dict = {}
+_TRACE_MEMO_MAX = 256
+
+
+def _trace_stat_sig(path) -> tuple:
+    stat = os.stat(path)
+    return (stat.st_mtime_ns, stat.st_size)
+
+
 def _load_task_trace(spec: "TaskSpec") -> np.ndarray:
     """Replay-source path: read the pinned corpus trace for a task.
 
@@ -225,6 +243,13 @@ def _load_task_trace(spec: "TaskSpec") -> np.ndarray:
     from ..traces.corpus import trace_sha256
     from ..traces.formats import read_trace_ms
 
+    memo_key = (spec.trace_file, spec.trace_sha256)
+    sig = _trace_stat_sig(spec.trace_file)
+    entry = _TRACE_MEMO.get(memo_key)
+    if entry is not None and entry[0] == sig:
+        # Copy so no simulation ever aliases the memoized array.
+        return entry[1].copy()
+    _TRACE_MEMO.pop(memo_key, None)
     times_ms = read_trace_ms(spec.trace_file, fmt="mahimahi")
     if spec.trace_sha256 is not None:
         digest = trace_sha256(times_ms)
@@ -232,7 +257,11 @@ def _load_task_trace(spec: "TaskSpec") -> np.ndarray:
             raise ValueError(
                 f"trace {spec.trace_file} hashes to {digest[:12]}, task "
                 f"pinned {spec.trace_sha256[:12]} — corpus content changed")
-    return times_ms.astype(float) / 1000.0
+    trace = times_ms.astype(float) / 1000.0
+    if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+        _TRACE_MEMO.clear()
+    _TRACE_MEMO[memo_key] = (sig, trace)
+    return trace.copy()
 
 
 def run_simulation_task(payload: dict) -> dict:

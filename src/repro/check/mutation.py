@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from .golden import compare_golden, default_golden_dir, golden_path, load_golden
 from .scenarios import build_scenario, run_audited
@@ -42,6 +42,12 @@ class Mutant:
     description: str
     #: Zero-argument callable returning the active patch context manager.
     apply: Callable = field(compare=False)
+    #: Optional self-contained detector for defects the audited check
+    #: scenarios cannot see (e.g. cache-coherence bugs off the golden
+    #: protocols' paths).  Called as ``probe(apply)``: it computes any
+    #: clean-code reference first, enters ``apply()`` itself, and
+    #: returns the list of oracle labels that noticed the defect.
+    probe: Optional[Callable] = field(default=None, compare=False)
 
 
 def _no_loss_decrease():
@@ -221,6 +227,108 @@ def _tracelink_wrap_off_by_one():
     return _patched(TraceLink, "_opportunity", _opportunity)
 
 
+def _stale_likelihood_cache():
+    """Perf defect: the Sprout likelihood cache's hit path ignores the
+    packet-count key and serves whichever row was inserted last.  The
+    first tick (cold cache) is correct, so the bug only appears once a
+    row exists — every later observation then updates the belief with
+    some other tick's likelihood."""
+    from ..sprout import forecast as forecast_mod
+
+    original = forecast_mod.RateBelief.observe
+
+    def observe(self, packets, censored=False):
+        if not censored and packets >= 0 and self._lik_cache:
+            # Seeded defect: cache hit keyed on "most recent" instead of
+            # the packet count.
+            stale_key = next(reversed(self._lik_cache))
+            return original(self, stale_key, censored=False)
+        return original(self, packets, censored=censored)
+
+    return _patched(forecast_mod.RateBelief, "observe", observe)
+
+
+def _probe_stale_likelihood_cache(apply):
+    """Oracle: per-tick budgets on a fixed arrival stream must match the
+    clean implementation exactly — any cache-coherence defect in the
+    forecaster shows up as a budget divergence."""
+    from ..sprout.forecast import SproutForecaster
+
+    counts = [5, 9, 5, 2, 9, 14, 2, 7, 9, 3]
+
+    def budgets():
+        forecaster = SproutForecaster(rate_cap_bps=18e6)
+        return [forecaster.on_tick(count) for count in counts]
+
+    reference = budgets()
+    with apply():
+        mutated = budgets()
+    if mutated != reference:
+        return ["probe:forecast-budget-divergence"]
+    return []
+
+
+def _stale_worker_trace_memo():
+    """Perf defect: the worker's trace memo skips the stat-signature
+    check, so a memo hit survives mid-sweep corpus mutation — cells keep
+    simulating a trace that no longer exists on disk, silently."""
+    from ..campaign import spec as campaign_spec
+
+    original = campaign_spec._load_task_trace
+
+    def load(task):
+        entry = campaign_spec._TRACE_MEMO.get(
+            (task.trace_file, task.trace_sha256))
+        if entry is not None:
+            # Seeded defect: the file's stat signature is never checked.
+            return entry[1].copy()
+        return original(task)
+
+    return _patched(campaign_spec, "_load_task_trace", load)
+
+
+def _probe_stale_trace_memo(apply):
+    """Oracle: after the corpus file changes on disk, a load pinned to
+    the *old* content hash must refuse (the clean memo re-verifies and
+    raises); serving bytes that differ from the on-disk trace means the
+    memo handed out stale content."""
+    import os
+    import tempfile
+    from types import SimpleNamespace
+
+    import numpy as np
+
+    from ..campaign import spec as campaign_spec
+    from ..traces.corpus import trace_sha256
+    from ..traces.formats import read_trace_ms
+
+    def write_trace(path, step):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(str(t) for t in range(0, 1000, step)) + "\n")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "cell.trace")
+        write_trace(path, 10)
+        pin = trace_sha256(read_trace_ms(path, fmt="mahimahi"))
+        task = SimpleNamespace(trace_file=path, trace_sha256=pin)
+        campaign_spec._TRACE_MEMO.clear()
+        try:
+            campaign_spec._load_task_trace(task)  # clean load seeds memo
+            write_trace(path, 25)                 # corpus mutates mid-sweep
+            with apply():
+                try:
+                    served = campaign_spec._load_task_trace(task)
+                except ValueError:
+                    return []   # refused like clean code: defect inert
+            disk = read_trace_ms(path, fmt="mahimahi").astype(float) / 1000.0
+            if served.shape != disk.shape \
+                    or not np.array_equal(served, disk):
+                return ["probe:memo-served-stale-trace"]
+            return []
+        finally:
+            campaign_spec._TRACE_MEMO.clear()
+
+
 def _cubic_no_decrease():
     """Cubic's loss response disabled: ssthresh is set to the pre-loss
     window, so a congestion signal no longer reduces the rate."""
@@ -257,6 +365,14 @@ MUTANTS: List[Mutant] = [
     Mutant(name="tracelink-wrap-off-by-one", protocol="verus-trace",
            description="trace replay skips each cycle's first opportunity",
            apply=_tracelink_wrap_off_by_one),
+    Mutant(name="stale-likelihood-cache", protocol="sprout",
+           description="forecaster cache serves the wrong packet-count row",
+           apply=_stale_likelihood_cache,
+           probe=_probe_stale_likelihood_cache),
+    Mutant(name="stale-worker-trace-memo", protocol="campaign",
+           description="trace memo ignores mid-sweep corpus mutation",
+           apply=_stale_worker_trace_memo,
+           probe=_probe_stale_trace_memo),
 ]
 
 
@@ -290,6 +406,16 @@ def run_mutation_smoke(mutants: List[Mutant] = None,
     for mutant in mutants:
         outcome = MutantResult(name=mutant.name, protocol=mutant.protocol,
                                description=mutant.description)
+        if mutant.probe is not None:
+            # Self-contained detector: the probe computes its clean-code
+            # reference, applies the patch itself, and reports catches.
+            try:
+                outcome.caught_by.extend(mutant.probe(mutant.apply))
+            except Exception as exc:
+                outcome.caught_by.append("exception")
+                outcome.error = repr(exc)
+            results.append(outcome)
+            continue
         scenario = build_scenario(mutant.protocol)
         try:
             with mutant.apply():

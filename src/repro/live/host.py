@@ -245,6 +245,10 @@ class LiveHost:
         self.datagrams_out += 1
 
     def _on_datagram(self, data: bytes, addr: Address) -> None:
+        if self._transport is None:
+            # close() ran while this callback sat in the event-loop queue;
+            # reacting (e.g. an immediate ACK) would hit the dead socket.
+            return
         self.datagrams_in += 1
         try:
             packet = decode_packet(data)

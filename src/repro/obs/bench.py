@@ -277,6 +277,82 @@ def _run_verus_direct(workload: dict) -> int:
     return receiver.packets_received
 
 
+def _setup_sprout_forecast(params: dict) -> Tuple[Any, str]:
+    import numpy as np
+    rng = np.random.default_rng(params["seed"])
+    packets = rng.integers(0, params["max_packets"] + 1,
+                           size=params["ticks"]).astype(np.int64)
+    censored = rng.random(params["ticks"]) < params["censored_frac"]
+    workload = {"packets": packets, "censored": censored,
+                "rate_cap_bps": params["rate_cap_bps"]}
+    return workload, hash_parts("sprout.forecast", params, packets,
+                                censored.astype(np.int64))
+
+
+def _run_sprout_forecast(workload: dict) -> float:
+    from ..sprout import SproutForecaster
+    # Fresh forecaster per repeat: the belief is stateful, and every
+    # repeat must do identical work for the checksum to hold.
+    forecaster = SproutForecaster(rate_cap_bps=workload["rate_cap_bps"])
+    packets, censored = workload["packets"], workload["censored"]
+    total = 0.0
+    for i in range(packets.size):
+        total += forecaster.on_tick(int(packets[i]),
+                                    censored=bool(censored[i]))
+    return round(total, 6)
+
+
+def _setup_sweep_dispatch(params: dict) -> Tuple[Any, str]:
+    import os
+    import tempfile
+
+    import numpy as np
+
+    from ..campaign.spec import TaskSpec
+    from ..traces.corpus import trace_sha256
+    from ..traces.formats import write_trace_ms
+    rng = np.random.default_rng(params["seed"])
+    span_ms = int(params["trace_seconds"] * 1000)
+    times_ms = np.sort(rng.integers(
+        0, span_ms, size=params["opportunities"])).astype(np.int64)
+    # The trace lives in a temp dir, but the workload hash covers its
+    # *content* plus the grid parameters — never the path — so runs on
+    # different machines/tmpdirs stay comparable.
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-sweep-")
+    trace_path = os.path.join(tmpdir, "cell.pps")
+    write_trace_ms(trace_path, times_ms, "mahimahi")
+    digest = trace_sha256(times_ms)
+    payloads = []
+    for cell in range(params["cells"]):
+        task = TaskSpec(scenario="bench-trace", protocol=params["protocol"],
+                        flows=1, duration=params["duration"],
+                        seed=1000 + cell, seed_index=cell,
+                        rtt=0.05, warmup=params["warmup"],
+                        trace_file=trace_path, trace_sha256=digest)
+        payloads.append(task.to_dict())
+    workload = {"payloads": payloads, "jobs": params["jobs"]}
+    return workload, hash_parts("sweep.dispatch", params, times_ms)
+
+
+def _run_sweep_dispatch(workload: dict) -> float:
+    from ..campaign.executor import run_tasks
+    from ..campaign.spec import run_simulation_task
+    # Cache-cold by construction: no store, and each repeat spawns a
+    # fresh worker pool, so per-worker warm state never leaks between
+    # repeats — what is measured is dispatch + trace load + simulation.
+    run = run_tasks(workload["payloads"], run_simulation_task,
+                    jobs=workload["jobs"], retries=0)
+    if not run.all_ok:
+        bad = next(o for o in run.outcomes if not o.ok)
+        raise RuntimeError(f"sweep.dispatch cell {bad.index} "
+                           f"{bad.status}: {bad.error}")
+    total = 0.0
+    for outcome in run.outcomes:
+        for flow in outcome.result["flows"]:
+            total += flow["stats"]["throughput_bps"]
+    return round(total, 3)
+
+
 def _contention_setup(name: str, params: dict) -> Tuple[Any, str]:
     from ..cellular import generate_scenario_trace
     trace = generate_scenario_trace(params["scenario"],
@@ -422,6 +498,33 @@ _register(BenchmarkDef(
             "full": {"duration": 30.0, "rate_bps": 10e6, "seed": 3,
                      "packets": 20_000}},
     repeats={"quick": 3, "full": 5}))
+
+_register(BenchmarkDef(
+    name="sprout.forecast", kind="micro",
+    summary="Sprout belief update + cautious horizon budget per tick",
+    setup=_setup_sprout_forecast, run=_run_sprout_forecast,
+    # Quick mode keeps every tick uncensored: censored observations need
+    # scipy's gammainc, and the CI bench lane runs on numpy alone.  Full
+    # mode (the local A/B gate) exercises the censored tail path too.
+    params={"quick": {"ticks": 300, "max_packets": 40,
+                      "censored_frac": 0.0, "rate_cap_bps": 18e6,
+                      "seed": 11},
+            "full": {"ticks": 1200, "max_packets": 40,
+                     "censored_frac": 0.3, "rate_cap_bps": 18e6,
+                     "seed": 11}},
+    repeats={"quick": 3, "full": 5}))
+
+_register(BenchmarkDef(
+    name="sweep.dispatch", kind="macro",
+    summary="cache-cold pinned-trace grid through the pooled executor",
+    setup=_setup_sweep_dispatch, run=_run_sweep_dispatch,
+    params={"quick": {"cells": 8, "protocol": "cubic", "duration": 1.0,
+                      "warmup": 0.2, "trace_seconds": 60.0,
+                      "opportunities": 120_000, "jobs": 2, "seed": 13},
+            "full": {"cells": 24, "protocol": "cubic", "duration": 1.0,
+                     "warmup": 0.2, "trace_seconds": 60.0,
+                     "opportunities": 120_000, "jobs": 2, "seed": 13}},
+    repeats={"quick": 2, "full": 3}))
 
 _register(BenchmarkDef(
     name="sim.verus_direct", kind="macro",

@@ -20,6 +20,34 @@ from typing import Optional
 
 import numpy as np
 
+# np.convolve is a thin wrapper over the C correlate kernel with the
+# second operand reversed; calling the kernel directly skips the wrapper
+# (asarray coercion, operand-swap check, per-call reversal view) on the
+# per-tick hot path while computing the exact same floats.  Mode 1 is
+# "same".
+try:
+    from numpy._core.multiarray import correlate as _correlate
+except ImportError:  # pragma: no cover - numpy < 2
+    try:
+        from numpy.core.multiarray import correlate as _correlate
+    except ImportError:  # pragma: no cover - future layout change
+        def _correlate(a, v, mode):
+            return np.convolve(a, v[::-1], mode="same")
+
+# ndarray.sum() funnels through numpy's _methods._sum wrapper into
+# np.add.reduce; binding the reduce directly drops the wrapper from the
+# per-tick hot path without changing the accumulation (same pairwise
+# reduction, same floats).
+_sum = np.add.reduce
+
+# scipy is only needed for censored (tail-likelihood) observations; the
+# import lives here so the per-tick censored branch doesn't re-run the
+# import machinery, but its absence only bites if that branch is hit.
+try:
+    from scipy.special import gammainc as _gammainc
+except ImportError:  # pragma: no cover - numpy-only environment
+    _gammainc = None
+
 #: Sprout's tick length (seconds).
 TICK_SECONDS = 0.020
 #: Queueing-delay target (seconds): drain everything within 100 ms.
@@ -54,17 +82,40 @@ class RateBelief:
         offsets = np.arange(-half_width, half_width + 1)
         kernel = np.exp(-0.5 * (offsets * step / evolve_sigma) ** 2)
         self._kernel = kernel / kernel.sum()
+        self._kernel_rev = np.ascontiguousarray(self._kernel[::-1])
         self._log_rates_col = self.log_rates
+        # Likelihood rows (point mass and censored tail alike) are
+        # deterministic in the packet count, so each distinct count is
+        # built once and reused; rows are never mutated after insertion.
+        self._lik_cache: dict = {}
+        self._tail_cache: dict = {}
+        self._posterior = np.empty(bins)
+        # One-slot evolution memo: the forecaster's first horizon step
+        # computes exactly normalize(correlate(prob, kernel)) — the same
+        # array the next evolve() would rebuild.  The revision counter
+        # ties the memo to the belief state it was derived from.
+        self._rev = 0
+        self._evolve_memo: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def evolve(self) -> None:
         """One tick of Brownian drift: convolve the belief with the kernel."""
-        self.prob = np.convolve(self.prob, self._kernel, mode="same")
-        total = self.prob.sum()
+        memo = self._evolve_memo
+        if memo is not None:
+            self._evolve_memo = None
+            if memo[0] == self._rev:
+                # The forecaster already evolved this exact belief state
+                # for its first horizon step; adopt that private copy.
+                self.prob = memo[1]
+                self._rev += 1
+                return
+        self.prob = _correlate(self.prob, self._kernel_rev, 1)
+        total = _sum(self.prob)
         if total <= 0:
             self.prob = np.full_like(self.prob, 1.0 / self.prob.size)
         else:
             self.prob /= total
+        self._rev += 1
 
     def observe(self, packets: int, censored: bool = False) -> None:
         """Multiply in the likelihood of ``packets`` arrivals in one tick.
@@ -81,20 +132,40 @@ class RateBelief:
         if censored:
             if packets == 0:
                 return  # "at least zero" carries no information
-            from scipy.special import gammainc
-            likelihood = gammainc(packets, self.rates)  # P(Poisson(λ) >= k)
+            likelihood = self._tail_cache.get(packets)
+            if likelihood is None:
+                if _gammainc is None:
+                    raise ImportError(
+                        "scipy is required for censored Sprout observations")
+                # P(Poisson(λ) >= k)
+                likelihood = _gammainc(packets, self.rates)
+                if len(self._tail_cache) >= 4096:
+                    self._tail_cache.clear()
+                self._tail_cache[packets] = likelihood
         else:
-            log_lik = (packets * self._log_rates_col - self.rates
-                       - math.lgamma(packets + 1))
-            log_lik -= log_lik.max()
-            likelihood = np.exp(log_lik)
-        posterior = self.prob * likelihood
-        total = posterior.sum()
+            likelihood = self._lik_cache.get(packets)
+            if likelihood is None:
+                log_lik = (packets * self._log_rates_col - self.rates
+                           - math.lgamma(packets + 1))
+                log_lik -= log_lik.max()
+                likelihood = np.exp(log_lik)
+                if len(self._lik_cache) >= 4096:
+                    self._lik_cache.clear()
+                self._lik_cache[packets] = likelihood
+        posterior = self._posterior
+        np.multiply(self.prob, likelihood, out=posterior)
+        total = _sum(posterior)
         if total <= 0:
             # Observation wildly outside the prior's support; reset flat.
             self.prob = np.full_like(self.prob, 1.0 / self.prob.size)
         else:
-            self.prob = posterior / total
+            np.divide(posterior, total, out=posterior)
+            # Hand the scratch buffer over as the live belief and adopt
+            # the superseded belief array as next tick's scratch.
+            self._posterior = self.prob if self.prob.size == posterior.size \
+                else np.empty(posterior.size)
+            self.prob = posterior
+        self._rev += 1
 
     def quantile(self, q: float) -> float:
         """Rate at the q-quantile of the belief."""
@@ -126,6 +197,14 @@ class SproutForecaster:
         self.rate_cap_bps = rate_cap_bps
         self.belief = belief if belief is not None else RateBelief()
         self.ticks_processed = 0
+        # Scratch buffers for the batched horizon pass; (re)built lazily
+        # so a swapped-in belief with a different grid size still works.
+        self._horizon_buf: Optional[np.ndarray] = None
+        self._horizon_cdf: Optional[np.ndarray] = None
+        self._horizon_lt: Optional[np.ndarray] = None
+        self._horizon_rows: Optional[list] = None
+        self._rates_src: Optional[np.ndarray] = None
+        self._rates_list: Optional[list] = None
 
     # ------------------------------------------------------------------
     def on_tick(self, packets_this_tick: int, censored: bool = False) -> float:
@@ -147,23 +226,58 @@ class SproutForecaster:
 
     def cautious_budget(self) -> float:
         horizon_ticks = max(1, int(round(self.target_delay / self.tick)))
-        cautious_rate = self.belief.quantile(self.quantile)
-        cautious_rate = self._apply_cap(cautious_rate)
-        # Widen uncertainty for each further look-ahead tick: evolve a copy
-        # of the belief and re-take the quantile.
-        budget = 0.0
-        look = self.belief.prob.copy()
-        kernel = self.belief._kernel
-        rates = self.belief.rates
-        for _ in range(horizon_ticks):
-            look = np.convolve(look, kernel, mode="same")
-            s = look.sum()
+        belief = self.belief
+        rates = belief.rates
+        buf = self._horizon_buf
+        if buf is None or buf.shape != (horizon_ticks, rates.size):
+            buf = self._horizon_buf = np.empty((horizon_ticks, rates.size))
+            self._horizon_cdf = np.empty_like(buf)
+            self._horizon_lt = np.empty(buf.shape, dtype=bool)
+            self._horizon_rows = list(buf)
+        # Widen uncertainty for each further look-ahead tick: evolve the
+        # belief forward step by step (the per-step renormalisation does
+        # not commute with convolution, so the chain stays sequential),
+        # normalizing each horizon distribution into its buffer row …
+        look = belief.prob
+        kernel_rev = belief._kernel_rev
+        div = np.divide
+        first = True
+        for row in self._horizon_rows:
+            look = _correlate(look, kernel_rev, 1)
+            s = _sum(look)
             if s > 0:
-                look /= s
-            cdf = np.cumsum(look)
-            idx = int(np.searchsorted(cdf, self.quantile))
-            rate = float(rates[min(idx, rates.size - 1)])
-            budget += self._apply_cap(rate)
+                div(look, s, out=row)
+                look = row
+                if first:
+                    # Seed the belief's evolve memo: the next evolve()
+                    # would recompute this exact normalized convolution.
+                    belief._evolve_memo = (belief._rev, row.copy())
+            else:
+                row[:] = look
+            first = False
+        # … then extract every horizon quantile in one batched pass.  The
+        # strict-less count below is exactly searchsorted(cdf, q, 'left')
+        # for a monotone CDF, so the indices (and therefore the floats)
+        # match the per-step formulation bit for bit.
+        cdf = np.add.accumulate(buf, axis=1, out=self._horizon_cdf)
+        lt = np.less(cdf, self.quantile, out=self._horizon_lt)
+        idx = np.add.reduce(lt, axis=1)
+        if self._rates_src is not rates:
+            # float(rates[i]) and rates.tolist()[i] are the same double,
+            # so the cached list reproduces the scalar lookups exactly.
+            self._rates_src = rates
+            self._rates_list = rates.tolist()
+        rates_list = self._rates_list
+        last = len(rates_list) - 1
+        cap = (None if self.rate_cap_bps is None
+               else self.rate_cap_bps * self.tick / (8.0 * self.packet_bytes))
+        # Left-to-right accumulation, matching the original loop's order.
+        budget = 0.0
+        for i in idx.tolist():
+            rate = rates_list[i if i < last else last]
+            if cap is not None and rate > cap:
+                rate = cap
+            budget += rate
         return budget
 
     def _apply_cap(self, rate_packets_per_tick: float) -> float:

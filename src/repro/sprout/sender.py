@@ -170,11 +170,25 @@ class SproutSender(SenderProtocol):
         if allowance <= 0:
             return
         spacing = self.tick / allowance
-        for k in range(allowance):
-            if k == 0:
-                self._emit()
-            else:
-                self.sim.call_later(k * spacing, self._emit)
+        # One self-rearming pacer event per tick instead of one heap entry
+        # per packet of allowance: the k-th emission still fires at
+        # base + k * spacing (the same float the per-packet call_later
+        # fan-out produced), but the heap holds at most one pacer tuple.
+        base = self.now
+        self._emit()
+        if allowance > 1:
+            self.sim.call_at(base + spacing, self._pace,
+                             base, spacing, 1, allowance)
+
+    def _pace(self, base: float, spacing: float, k: int,
+              allowance: int) -> None:
+        if not self.running:
+            return
+        self._emit()
+        k += 1
+        if k < allowance:
+            self.sim.call_at(base + k * spacing, self._pace,
+                             base, spacing, k, allowance)
 
     def _emit(self) -> None:
         if not self.running:

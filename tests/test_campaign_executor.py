@@ -11,6 +11,8 @@ import os
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.campaign import ResultStore, run_tasks
 
 
@@ -232,3 +234,166 @@ def _mixed_task(payload):
     if "sentinel" in payload:
         return crash_once_task(payload)
     return stuck_task(payload)
+
+
+def pid_stuck_task(payload):
+    """Writes its worker pid for the test supervisor, then hangs (or
+    completes quickly when not the designated offender)."""
+    if payload.get("stuck"):
+        with open(payload["pidfile"], "w") as fh:
+            fh.write(str(os.getpid()))
+        time.sleep(30.0)
+        return "woke"
+    time.sleep(0.05)
+    return payload["value"]
+
+
+class _PidKillSupervisor:
+    """Minimal duck-typed supervisor: SIGKILLs whichever worker wrote
+    the pidfile and attributes the kill to ``offender`` — enough to
+    exercise the executor's blame-aware chunk-casualty path without the
+    full watchdog."""
+
+    def __init__(self, pidfile, offender):
+        self.pidfile = pidfile
+        self.offender = offender
+        self._kills = {}
+        self._shot = set()
+
+    def wrap(self, index, attempts, payload):
+        return payload
+
+    def poll(self):
+        import signal
+        try:
+            pid = int(open(self.pidfile).read())
+        except (OSError, ValueError):
+            return
+        if pid in self._shot:
+            return
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            return
+        self._shot.add(pid)
+        self._kills[self.offender] = "[hang] shot by test supervisor"
+
+    def take_kills(self):
+        kills, self._kills = self._kills, {}
+        return kills
+
+    def release(self, index):
+        pass
+
+
+class TestChunkedDispatch:
+    """The failure matrix again, with several payloads per future: batch
+    transport must not change per-task retry/timeout/blame semantics."""
+
+    @pytest.mark.parametrize("chunk", [2, 3])
+    def test_results_in_input_order(self, chunk):
+        run = run_tasks([{"value": i} for i in range(7)], echo_task,
+                        jobs=2, chunk=chunk)
+        assert [o.result for o in run.outcomes] == list(range(7))
+        assert run.stats.executed == 7
+
+    def test_member_exception_isolated_within_chunk(self):
+        payloads = [{"value": 0}, {"value": 1}, {"value": 2}, {"value": 3}]
+        run = run_tasks(payloads, crashy_task, jobs=2, chunk=2, retries=0)
+        ok = run_tasks([{"value": 0}, {"value": 1}], boom_task,
+                       jobs=2, chunk=2, retries=0)
+        assert [o.result for o in run.outcomes] == [0, 1, 2, 3]
+        assert all(o.status == "failed" for o in ok.outcomes)
+        assert "boom:0" in ok.outcomes[0].error
+        assert ok.stats.failed == 2
+
+    def test_retry_then_succeed_inside_chunks(self, tmp_path):
+        payloads = [{"sentinel": str(tmp_path / f"s{i}")} for i in range(4)]
+        run = run_tasks(payloads, flaky_task, jobs=2, chunk=2,
+                        retries=1, backoff=0.01)
+        assert all(o.status == "ok" for o in run.outcomes)
+        assert all(o.attempts == 2 for o in run.outcomes)
+        assert run.stats.retries == 4
+
+    def test_chunk_timeout_splits_to_solo_without_burning_attempts(self):
+        # Chunk [0,1]: member 0 sleeps past the chunk deadline
+        # (timeout x members = 1.0 s) so both members are requeued
+        # *solo* with no attempt burned; the sleeper then times out
+        # terminally as a singleton while its innocent chunk-mate
+        # completes with attempts == 1.
+        payloads = [{"sleep": 2.5}, {"sleep": 0.05},
+                    {"sleep": 0.05}, {"sleep": 0.05}]
+        run = run_tasks(payloads, sleep_task, jobs=2, chunk=2,
+                        timeout=0.5, retries=1, backoff=0.01)
+        by_index = {o.index: o for o in run.outcomes}
+        assert by_index[0].status == "timeout"
+        assert by_index[0].attempts == 1          # split burned nothing
+        assert "timed out" in by_index[0].error
+        for i in (1, 2, 3):
+            assert by_index[i].status == "ok"
+            assert by_index[i].result == "slept"
+            assert by_index[i].attempts == 1
+        assert run.stats.timeouts == 1
+        assert run.stats.retries == 0
+        stats = run.stats
+        assert stats.executed + stats.failed + stats.timeouts \
+            + stats.cached == stats.total == 4
+
+    def test_worker_death_fails_chunk_mates_unattributed(self):
+        # Without a supervisor the break cannot be blamed, so *every*
+        # member in flight — including the crasher's innocent chunk-mate
+        # — consumes an attempt; with retries=0 both fail while cells in
+        # other chunks complete on the rebuilt pool.
+        payloads = [{"crash": True, "value": 0}] + \
+                   [{"value": i} for i in range(1, 6)]
+        run = run_tasks(payloads, crashy_task, jobs=2, chunk=2,
+                        retries=0, backoff=0.01)
+        by_index = {o.index: o for o in run.outcomes}
+        assert by_index[0].status == "failed"
+        assert "died" in by_index[0].error
+        assert by_index[1].status == "failed"     # rode with the crasher
+        assert [by_index[i].result for i in range(2, 6)] == \
+            list(range(2, 6))
+        assert run.stats.pool_restarts >= 1
+        stats = run.stats
+        assert stats.executed + stats.failed + stats.timeouts \
+            + stats.cached == stats.total == 6
+
+    def test_one_shot_crasher_chunk_recovers_on_retry(self, tmp_path):
+        innocents = []
+        for i in range(1, 6):
+            sentinel = tmp_path / f"ok{i}"
+            sentinel.touch()              # pre-armed: never crashes
+            innocents.append({"sentinel": str(sentinel), "value": i})
+        payloads = [{"sentinel": str(tmp_path / "c0"), "value": 0}] \
+            + innocents
+        run = run_tasks(payloads, crash_once_task, jobs=2, chunk=2,
+                        retries=1, backoff=0.01)
+        by_index = {o.index: o for o in run.outcomes}
+        assert [by_index[i].result for i in range(6)] == list(range(6))
+        assert by_index[0].attempts == 2
+        assert run.stats.retries >= 2             # crasher + chunk-mate
+        assert run.stats.pool_restarts >= 1
+        stats = run.stats
+        assert stats.executed + stats.failed + stats.timeouts \
+            + stats.cached == stats.total == 6
+
+    def test_supervisor_kill_blames_only_offending_chunk_member(
+            self, tmp_path):
+        pidfile = str(tmp_path / "pid")
+        supervisor = _PidKillSupervisor(pidfile, offender=0)
+        payloads = [{"stuck": True, "pidfile": pidfile, "value": 0}] + \
+                   [{"value": i} for i in range(1, 4)]
+        run = run_tasks(payloads, pid_stuck_task, jobs=2, chunk=2,
+                        retries=1, timeout=30.0, backoff=0.01,
+                        supervisor=supervisor)
+        by_index = {o.index: o for o in run.outcomes}
+        assert by_index[0].status == "failed"
+        assert "shot by test supervisor" in by_index[0].error
+        assert by_index[0].attempts == 2          # offender burned both
+        for i in (1, 2, 3):
+            assert by_index[i].status == "ok"
+            assert by_index[i].result == i
+            assert by_index[i].attempts == 1      # innocents never burned
+        assert run.stats.retries == 1             # only the offender's
+        assert run.stats.pool_restarts >= 2

@@ -271,3 +271,159 @@ class TestBeliefProperties:
         median_before = belief.quantile(0.5)
         belief.observe(25, censored=True)
         assert belief.quantile(0.5) >= median_before * 0.99
+
+
+# ----------------------------------------------------------------------
+# Bit-identical equivalence against the pre-vectorization forecaster
+# ----------------------------------------------------------------------
+class _ReferenceForecaster:
+    """The forecaster exactly as written before the batched-horizon
+    rewrite: per-step ``np.convolve`` + ``np.cumsum`` + ``searchsorted``,
+    no likelihood caches, no horizon buffers.  Kept verbatim so any
+    float-level drift in the optimised path fails ``==`` below."""
+
+    def __init__(self, min_rate=0.05, max_rate=300.0, bins=192,
+                 evolve_sigma=0.18, tick=TICK_SECONDS, target_delay=0.100,
+                 quantile=0.05, rate_cap_bps=None, packet_bytes=1400):
+        import math
+        self.log_rates = np.linspace(math.log(min_rate),
+                                     math.log(max_rate), bins)
+        self.rates = np.exp(self.log_rates)
+        self.prob = np.full(bins, 1.0 / bins)
+        step = self.log_rates[1] - self.log_rates[0]
+        half_width = max(1, int(math.ceil(3 * evolve_sigma / step)))
+        offsets = np.arange(-half_width, half_width + 1)
+        kernel = np.exp(-0.5 * (offsets * step / evolve_sigma) ** 2)
+        self._kernel = kernel / kernel.sum()
+        self.tick = tick
+        self.target_delay = target_delay
+        self.quantile = quantile
+        self.rate_cap_bps = rate_cap_bps
+        self.packet_bytes = packet_bytes
+
+    def evolve(self):
+        self.prob = np.convolve(self.prob, self._kernel, mode="same")
+        total = self.prob.sum()
+        if total <= 0:
+            self.prob = np.full_like(self.prob, 1.0 / self.prob.size)
+        else:
+            self.prob /= total
+
+    def observe(self, packets, censored=False):
+        import math
+        if censored:
+            if packets == 0:
+                return
+            from scipy.special import gammainc
+            likelihood = gammainc(packets, self.rates)
+        else:
+            log_lik = (packets * self.log_rates - self.rates
+                       - math.lgamma(packets + 1))
+            log_lik -= log_lik.max()
+            likelihood = np.exp(log_lik)
+        posterior = self.prob * likelihood
+        total = posterior.sum()
+        if total <= 0:
+            self.prob = np.full_like(self.prob, 1.0 / self.prob.size)
+        else:
+            self.prob = posterior / total
+
+    def _apply_cap(self, rate):
+        if self.rate_cap_bps is None:
+            return rate
+        cap = self.rate_cap_bps * self.tick / (8.0 * self.packet_bytes)
+        return min(rate, cap)
+
+    def on_tick(self, packets, censored=False):
+        self.evolve()
+        self.observe(packets, censored=censored)
+        return self.cautious_budget()
+
+    def cautious_budget(self):
+        horizon_ticks = max(1, int(round(self.target_delay / self.tick)))
+        budget = 0.0
+        look = self.prob.copy()
+        kernel = self._kernel
+        rates = self.rates
+        for _ in range(horizon_ticks):
+            look = np.convolve(look, kernel, mode="same")
+            s = look.sum()
+            if s > 0:
+                look /= s
+            cdf = np.cumsum(look)
+            idx = int(np.searchsorted(cdf, self.quantile))
+            rate = float(rates[min(idx, rates.size - 1)])
+            budget += self._apply_cap(rate)
+        return budget
+
+
+class TestForecasterEquivalence:
+    """The vectorized forecaster must be *bit-identical* to the original
+    per-step implementation — its budgets feed the perf-equivalence
+    goldens, so == (not allclose) is the contract."""
+
+    @pytest.mark.parametrize("rate_cap_bps", [None, 18e6])
+    def test_seeded_stream_budgets_bit_identical(self, rate_cap_bps):
+        new = SproutForecaster(rate_cap_bps=rate_cap_bps)
+        ref = _ReferenceForecaster(rate_cap_bps=rate_cap_bps)
+        # Same grid construction, so same support arrays to the bit.
+        assert np.array_equal(new.belief.rates, ref.rates)
+        assert np.array_equal(new.belief._kernel, ref._kernel)
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            packets = int(rng.integers(0, 41))
+            censored = bool(rng.random() < 0.3)
+            got = new.on_tick(packets, censored=censored)
+            want = ref.on_tick(packets, censored=censored)
+            assert got == want
+            assert np.array_equal(new.belief.prob, ref.prob)
+
+    def test_interleaved_belief_ops_keep_equivalence(self):
+        """Extra evolve/observe calls between budgets exercise the
+        evolve-memo revision guard: a memo seeded by one budget must not
+        be served after the belief has moved on."""
+        new = SproutForecaster(rate_cap_bps=18e6)
+        ref = _ReferenceForecaster(rate_cap_bps=18e6)
+        rng = np.random.default_rng(7)
+        for step in range(150):
+            packets = int(rng.integers(0, 41))
+            assert new.on_tick(packets) == ref.on_tick(packets)
+            if step % 3 == 0:
+                # Double observation without an intervening evolve.
+                new.belief.observe(packets + 1)
+                ref.observe(packets + 1)
+            if step % 7 == 0:
+                new.belief.evolve()
+                ref.evolve()
+            assert np.array_equal(new.belief.prob, ref.prob)
+
+    def test_flat_reset_path_matches(self):
+        """An observation far outside the belief's support zeroes the
+        posterior; both implementations must take the same flat-reset
+        branch (and the censored tail cache must store the zero row)."""
+        new = SproutForecaster()
+        ref = _ReferenceForecaster()
+        for _ in range(40):
+            assert new.on_tick(2) == ref.on_tick(2)
+        # P(Poisson(lambda) >= 5000) underflows to 0 across the grid.
+        assert new.on_tick(5000, censored=True) == \
+            ref.on_tick(5000, censored=True)
+        assert np.array_equal(new.belief.prob, ref.prob)
+        # Recovery from the reset stays locked as well (cache reuse).
+        for _ in range(20):
+            assert new.on_tick(2) == ref.on_tick(2)
+        assert np.array_equal(new.belief.prob, ref.prob)
+
+    def test_repeated_counts_hit_likelihood_cache(self):
+        """Same packet count twice must reuse the cached likelihood row
+        and still produce identical posteriors (cached row unmutated)."""
+        new = SproutForecaster()
+        ref = _ReferenceForecaster()
+        for packets in [9, 9, 9, 4, 9, 4, 4]:
+            assert new.on_tick(packets) == ref.on_tick(packets)
+        assert 9 in new.belief._lik_cache and 4 in new.belief._lik_cache
+        for packets in [6, 6, 6]:
+            assert new.on_tick(packets, censored=True) == \
+                ref.on_tick(packets, censored=True)
+        assert 6 in new.belief._tail_cache
+        assert np.array_equal(new.belief.prob, ref.prob)

@@ -166,3 +166,79 @@ class TestExpandCorpus:
             assert task.trace_sha256 == \
                 mini_corpus.entry(task.scenario).sha256
         assert len({t.key() for t in tasks}) == len(tasks)
+
+
+class TestWorkerTraceMemo:
+    """The per-worker parsed-trace memo in ``campaign.spec`` must speed
+    repeated loads up without ever weakening the sha-256 content pin."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_memo(self):
+        from repro.campaign import spec as campaign_spec
+        campaign_spec._TRACE_MEMO.clear()
+        yield
+        campaign_spec._TRACE_MEMO.clear()
+
+    @staticmethod
+    def _pinned_task(path):
+        from types import SimpleNamespace
+
+        from repro.traces.corpus import trace_sha256
+        from repro.traces.formats import read_trace_ms
+        times_ms = read_trace_ms(str(path), fmt="mahimahi")
+        return SimpleNamespace(trace_file=str(path),
+                               trace_sha256=trace_sha256(times_ms))
+
+    @staticmethod
+    def _write(path, step):
+        from repro.traces.formats import write_trace_ms
+        write_trace_ms(path, np.arange(0, 2000, step, dtype=np.int64),
+                       "mahimahi")
+
+    def test_memo_hit_skips_reparse_and_never_aliases(self, tmp_path,
+                                                      monkeypatch):
+        from repro.campaign.spec import _load_task_trace
+        from repro.traces import formats
+        path = tmp_path / "t.trace"
+        self._write(path, 10)
+        task = self._pinned_task(path)
+        first = _load_task_trace(task)
+
+        def _boom(*a, **k):
+            raise AssertionError("memo hit must not re-read the file")
+
+        monkeypatch.setattr(formats, "read_trace_ms", _boom)
+        second = _load_task_trace(task)
+        np.testing.assert_array_equal(first, second)
+        assert second is not first
+        # A caller scribbling on its copy must not poison later loads.
+        second[:] = -1.0
+        third = _load_task_trace(task)
+        np.testing.assert_array_equal(first, third)
+
+    def test_mutated_file_refused_despite_memo(self, tmp_path):
+        from repro.campaign.spec import _load_task_trace
+        path = tmp_path / "t.trace"
+        self._write(path, 10)
+        task = self._pinned_task(path)
+        _load_task_trace(task)          # seed the memo
+        self._write(path, 25)           # corpus drifts mid-sweep
+        with pytest.raises(ValueError, match="corpus content changed"):
+            _load_task_trace(task)
+
+    def test_memo_keyed_by_pin_not_just_path(self, tmp_path):
+        from types import SimpleNamespace
+
+        from repro.campaign.spec import _load_task_trace
+        path = tmp_path / "t.trace"
+        self._write(path, 10)
+        good = self._pinned_task(path)
+        _load_task_trace(good)          # memo holds the good pin
+        bad = SimpleNamespace(trace_file=str(path),
+                              trace_sha256="0" * 64)
+        with pytest.raises(ValueError, match="pinned"):
+            _load_task_trace(bad)
+        # ...and the good pin still serves correctly afterwards.
+        np.testing.assert_array_equal(
+            _load_task_trace(good),
+            np.arange(0, 2000, 10, dtype=np.int64).astype(float) / 1000.0)
